@@ -1,0 +1,205 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation into a results directory (ASCII + CSV).
+//
+// Usage:
+//
+//	experiments [-out results] [-quick] [-only fig2,table1]
+//
+// -quick restricts the benchmark set to a fast subset; -only selects
+// specific artifacts (comma-separated ids: fig1 fig2 fig3 fig4 fig6
+// fig8 table1 table2 table3 table4 ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	quick := flag.Bool("quick", false, "use the fast benchmark subset")
+	only := flag.String("only", "", "comma-separated artifact ids (default: all)")
+	flag.Parse()
+
+	if err := run(*out, *quick, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, quick bool, only string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	env := experiments.NewEnv()
+	names := experiments.AllBenchmarks()
+	if quick {
+		names = experiments.SmallBenchmarks()
+	}
+	selected := map[string]bool{}
+	for _, id := range strings.Split(only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[id] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	type artifact struct {
+		id  string
+		run func() error
+	}
+	writeTable := func(name string, t *report.Table) error {
+		if err := os.WriteFile(filepath.Join(outDir, name+".txt"), []byte(t.String()), 0o644); err != nil {
+			return err
+		}
+		var csv strings.Builder
+		if err := t.WriteCSV(&csv); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(outDir, name+".csv"), []byte(csv.String()), 0o644)
+	}
+	writeFigure := func(name string, f *report.Figure) error {
+		return os.WriteFile(filepath.Join(outDir, name+".txt"), []byte(f.String()), 0o644)
+	}
+
+	artifacts := []artifact{
+		{"fig1", func() error {
+			f, err := env.Fig1Figure("c432")
+			if err != nil {
+				return err
+			}
+			return writeFigure("fig1_tmin_iterations", f)
+		}},
+		{"fig2", func() error {
+			rows, err := env.Fig2(names)
+			if err != nil {
+				return err
+			}
+			return writeTable("fig2_tmin_pops_vs_amps", experiments.Fig2Table(rows))
+		}},
+		{"fig3", func() error {
+			f, err := env.Fig3Figure("c432")
+			if err != nil {
+				return err
+			}
+			return writeFigure("fig3_sensitivity_family", f)
+		}},
+		{"fig4", func() error {
+			rows, err := env.Fig4(names, 1.2)
+			if err != nil {
+				return err
+			}
+			return writeTable("fig4_area_pops_vs_amps", experiments.Fig4Table(rows))
+		}},
+		{"table1", func() error {
+			rows, err := env.Table1(names)
+			if err != nil {
+				return err
+			}
+			return writeTable("table1_cpu_time", experiments.Table1Table(rows))
+		}},
+		{"table2", func() error {
+			rows, err := env.Table2()
+			if err != nil {
+				return err
+			}
+			return writeTable("table2_flimit", experiments.Table2Table(rows))
+		}},
+		{"table3", func() error {
+			rows, err := env.Table3(names)
+			if err != nil {
+				return err
+			}
+			return writeTable("table3_buffer_gain", experiments.Table3Table(rows))
+		}},
+		{"fig6", func() error {
+			f, err := env.Fig6Figure("c1355")
+			if err != nil {
+				return err
+			}
+			return writeFigure("fig6_constraint_domains", f)
+		}},
+		{"fig8", func() error {
+			rows, err := env.Fig8(names)
+			if err != nil {
+				return err
+			}
+			for i, t := range experiments.Fig8Tables(rows) {
+				domain := []string{"hard", "medium", "weak"}[i]
+				if err := writeTable("fig8_area_"+domain, t); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"table4", func() error {
+			set := []string{"c1355", "c1908", "c5315", "c7552"}
+			if quick {
+				set = []string{"c1355", "c1908"}
+			}
+			rows, err := env.Table4(set)
+			if err != nil {
+				return err
+			}
+			return writeTable("table4_restructure", experiments.Table4Table(rows))
+		}},
+		{"robustness", func() error {
+			set := []string{"fpd", "c880", "c1355"}
+			rows, err := env.WireUncertainty(set, 0.3, 3)
+			if err != nil {
+				return err
+			}
+			if err := writeTable("robustness_wire_uncertainty", experiments.WireUncertaintyTable(rows)); err != nil {
+				return err
+			}
+			var sweeps []*experiments.SeedSweepRow
+			for _, name := range set {
+				row, err := env.SeedSweep(name, 4)
+				if err != nil {
+					return err
+				}
+				sweeps = append(sweeps, row)
+			}
+			return writeTable("robustness_seed_sweep", experiments.SeedSweepTable(sweeps))
+		}},
+		{"ablations", func() error {
+			var rows []experiments.AblationRow
+			for _, f := range []func(string) (*experiments.AblationRow, error){
+				env.AblationSlope, env.AblationMiller, env.AblationSeeding,
+				env.AblationLogicalEffort,
+			} {
+				r, err := f("c880")
+				if err != nil {
+					return err
+				}
+				rows = append(rows, *r)
+			}
+			su, err := env.AblationSutherland("c880", nil)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, su...)
+			return writeTable("ablations", experiments.AblationTable(rows))
+		}},
+	}
+
+	for _, a := range artifacts {
+		if !want(a.id) {
+			continue
+		}
+		t0 := time.Now()
+		if err := a.run(); err != nil {
+			return fmt.Errorf("%s: %w", a.id, err)
+		}
+		fmt.Printf("%-10s done in %v\n", a.id, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Println("results written to", outDir)
+	return nil
+}

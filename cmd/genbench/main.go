@@ -1,0 +1,74 @@
+// Command genbench exports the synthetic benchmark suite as ISCAS'85
+// .bench files, so the circuits used by the experiments can be fed to
+// external tools (or diffed across versions — generation is
+// deterministic).
+//
+// Usage:
+//
+//	genbench [-out bench] [-seed 0] [name ...]
+//
+// With no names, the whole suite plus c17 and rca16 is exported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/iscas"
+	"repro/internal/netlist"
+)
+
+func main() {
+	out := flag.String("out", "bench", "output directory")
+	seed := flag.Int64("seed", 0, "generator seed override for suite circuits")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		for _, s := range iscas.Suite() {
+			names = append(names, s.Name)
+		}
+		names = append(names, "c17", "rca16")
+	}
+	if err := run(*out, *seed, names); err != nil {
+		fmt.Fprintln(os.Stderr, "genbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, seed int64, names []string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range names {
+		var c *pops.Circuit
+		var err error
+		if spec, specErr := iscas.ByName(name); specErr == nil && seed != 0 {
+			spec.Seed = seed
+			c, err = iscas.Generate(spec)
+		} else {
+			c, err = pops.Benchmark(name)
+		}
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, name+".bench")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := netlist.WriteBench(f, c); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		st := c.Stats()
+		fmt.Printf("%-10s %5d gates → %s\n", name, st.Gates, path)
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+// Command pops analyzes and optimizes combinational circuits with the
+// paper's protocol.
+//
+// Usage:
+//
+//	pops analyze  (-bench file.bench | -circuit c432)
+//	pops bounds   (-bench file.bench | -circuit c432)
+//	pops optimize (-bench file.bench | -circuit c432) -tc 2500
+//	pops optimize -circuit c432 -ratio 1.3          # Tc = 1.3 × Tmin
+//	pops slack    -circuit c880 -ratio 1.2          # required times / slacks
+//	pops power    (-bench file.bench | -circuit c432)
+//	pops flimit                                      # library characterization
+//	pops calibrate                                   # fit model from simulator
+//	pops list                                        # benchmark suite
+//
+// Circuits are either ISCAS'85 .bench files (elaborated onto the
+// primitive library on load) or named members of the paper's benchmark
+// suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	benchFile := fs.String("bench", "", "ISCAS'85 .bench netlist file")
+	circuit := fs.String("circuit", "", "named benchmark (c432, Adder16, c17, rca16, …)")
+	tc := fs.Float64("tc", 0, "delay constraint in ps")
+	ratio := fs.Float64("ratio", 0, "delay constraint as a multiple of Tmin")
+	k := fs.Int("k", 3, "number of worst paths to report (analyze)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	if err := run(cmd, *benchFile, *circuit, *tc, *ratio, *k); err != nil {
+		fmt.Fprintln(os.Stderr, "pops:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pops <analyze|bounds|optimize|flimit|list> [flags]
+run "pops <command> -h" for command flags`)
+}
+
+func load(benchFile, circuit string) (*pops.Circuit, error) {
+	switch {
+	case benchFile != "":
+		return pops.LoadBenchFile(benchFile)
+	case circuit != "":
+		return pops.Benchmark(circuit)
+	default:
+		return nil, fmt.Errorf("need -bench or -circuit")
+	}
+}
+
+func run(cmd, benchFile, circuit string, tc, ratio float64, k int) error {
+	proc := pops.DefaultProcess()
+	model := pops.NewModel(proc)
+
+	switch cmd {
+	case "list":
+		t := report.NewTable("benchmark suite", "Name", "Inputs", "Outputs", "Gates", "Path gates")
+		for _, s := range pops.Benchmarks() {
+			t.AddRow(s.Name, s.Inputs, s.Outputs, s.Gates, s.PathLen)
+		}
+		fmt.Print(t.String())
+		return nil
+
+	case "flimit":
+		t := report.NewTable("library characterization (driver: INV)", "Gate", "Flimit")
+		for _, e := range pops.CharacterizeLibrary(model) {
+			t.AddRow(e.Gate.String(), e.Flimit)
+		}
+		fmt.Print(t.String())
+		return nil
+
+	case "calibrate":
+		res, err := pops.Calibrate(proc, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fitted S0 = %.3f (library %.3f)\n", res.S0, proc.S0)
+		t := report.NewTable("fitted logical weights (transistor-level)", "Gate", "DW_HL", "DW_LH")
+		for _, gt := range pops.CharacterizeLibrary(model) {
+			if w, ok := res.Weights[gt.Gate]; ok {
+				t.AddRow(gt.Gate.String(), w.HL, w.LH)
+			}
+		}
+		fmt.Print(t.String())
+		fmt.Printf("library RMS deviation: %.1f%%\n", res.LibraryRMS*100)
+		return nil
+	}
+
+	c, err := load(benchFile, circuit)
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "analyze":
+		res, err := pops.Analyze(c, model)
+		if err != nil {
+			return err
+		}
+		st := c.Stats()
+		fmt.Printf("circuit %s: %d gates, %d inputs, %d outputs, depth %d\n",
+			c.Name, st.Gates, st.Inputs, st.Outputs, st.Depth)
+		fmt.Printf("worst delay: %.1f ps at %s\n", res.WorstDelay, res.WorstOutput.Name)
+		paths, err := pops.KWorstPaths(c, model, k)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable("worst paths", "#", "gates", "delay (ps)", "area (µm)")
+		for i, pa := range paths {
+			t.AddRow(i+1, pa.Len(), model.PathDelayWorst(pa), pa.Area(proc))
+		}
+		fmt.Print(t.String())
+		return nil
+
+	case "bounds":
+		pa, _, err := pops.CriticalPath(c, model)
+		if err != nil {
+			return err
+		}
+		b, err := pops.Bounds(model, pa.Clone())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("critical path: %d gates\n", pa.Len())
+		fmt.Printf("Tmin = %.1f ps   Tmax = %.1f ps\n", b.Tmin, b.Tmax)
+		fmt.Printf("domains: hard < %.1f ps ≤ medium ≤ %.1f ps < weak\n",
+			1.2*b.Tmin, 2.5*b.Tmin)
+		return nil
+
+	case "optimize":
+		pa, _, err := pops.CriticalPath(c, model)
+		if err != nil {
+			return err
+		}
+		if tc == 0 {
+			if ratio == 0 {
+				return fmt.Errorf("optimize needs -tc or -ratio")
+			}
+			b, err := pops.Bounds(model, pa.Clone())
+			if err != nil {
+				return err
+			}
+			tc = ratio * b.Tmin
+		}
+		proto, err := pops.NewProtocol(pops.ProtocolConfig{Model: model})
+		if err != nil {
+			return err
+		}
+		out, err := proto.OptimizeCircuit(c, tc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("constraint: %.1f ps\n", tc)
+		fmt.Printf("result: delay %.1f ps, circuit area %.1f µm, feasible=%v\n",
+			out.Delay, out.Area, out.Feasible)
+		fmt.Printf("rounds=%d buffers=%d nor-rewrites=%d\n",
+			out.Rounds, out.Buffers, out.NorRewrites)
+		for i, po := range out.PathOutcomes {
+			fmt.Printf("  round %d: domain=%s method=%s delay=%.1f area=%.1f\n",
+				i+1, po.Domain, po.Method, po.Delay, po.Area)
+		}
+		return nil
+
+	case "power":
+		est, err := pops.EstimatePower(c, proc, pops.PowerOptions{})
+		if err != nil {
+			return err
+		}
+		st := c.Stats()
+		fmt.Printf("circuit %s: %d gates\n", c.Name, st.Gates)
+		fmt.Printf("dynamic power: %.1f µW at 100 MHz (mean activity %.2f, switched cap %.0f fF/cycle)\n",
+			est.TotalUW, est.MeanActivity, est.SwitchedCapFF)
+		return nil
+
+	case "slack":
+		res, err := pops.Analyze(c, model)
+		if err != nil {
+			return err
+		}
+		if tc == 0 {
+			if ratio == 0 {
+				ratio = 1.0
+			}
+			tc = ratio * res.WorstDelay
+		}
+		rep, err := res.Slacks(tc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("constraint %.1f ps: worst slack %.1f ps, %d violating nodes\n",
+			tc, rep.WorstSlack, rep.Violations)
+		t := report.NewTable("most critical nodes", "Node", "Slack (ps)")
+		for _, n := range rep.CriticalBySlack(k) {
+			t.AddRow(n.Name, rep.Slack[n])
+		}
+		fmt.Print(t.String())
+		return nil
+	}
+	usage()
+	return fmt.Errorf("unknown command %q", cmd)
+}

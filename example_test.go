@@ -1,0 +1,85 @@
+package pops_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro"
+)
+
+// ExampleBounds shows the §3.1 delay-space exploration: every bounded
+// path has a finite [Tmin, Tmax] window, and constraints are classified
+// against it before any optimization is attempted.
+func ExampleBounds() {
+	model := pops.NewModel(pops.DefaultProcess())
+	circuit, _ := pops.Benchmark("c17")
+	path, _, _ := pops.CriticalPath(circuit, model)
+	b, _ := pops.Bounds(model, path)
+	fmt.Println("bounds ordered:", 0 < b.Tmin && b.Tmin < b.Tmax)
+	// Output:
+	// bounds ordered: true
+}
+
+// ExampleDistribute sizes a path to a constraint at minimum area and
+// shows that infeasible constraints are rejected rather than looped on.
+func ExampleDistribute() {
+	model := pops.NewModel(pops.DefaultProcess())
+	circuit, _ := pops.Benchmark("fpd")
+	path, _, _ := pops.CriticalPath(circuit, model)
+	b, _ := pops.Bounds(model, path.Clone())
+
+	res, err := pops.Distribute(model, path, 1.5*b.Tmin)
+	fmt.Println("met constraint:", err == nil && res.Delay <= 1.5*b.Tmin*1.0001)
+
+	_, err = pops.Distribute(model, path.Clone(), 0.5*b.Tmin)
+	fmt.Println("infeasible rejected:", err != nil)
+	// Output:
+	// met constraint: true
+	// infeasible rejected: true
+}
+
+// ExampleCharacterizeLibrary prints the paper's Table 2 ordering: the
+// fan-out limit falls as the gate gets less efficient, NOR3 last.
+func ExampleCharacterizeLibrary() {
+	model := pops.NewModel(pops.DefaultProcess())
+	entries := pops.CharacterizeLibrary(model)
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Gate.String()
+	}
+	fmt.Println(names[0], ">", names[len(names)-1])
+	// Output:
+	// INV > NOR4
+}
+
+// ExampleEquivalent proves that optimization preserves logic on a real
+// arithmetic circuit.
+func ExampleEquivalent() {
+	model := pops.NewModel(pops.DefaultProcess())
+	adder, _ := pops.Benchmark("rca4")
+	original := adder.Clone()
+
+	proto, _ := pops.NewProtocol(pops.ProtocolConfig{Model: model})
+	path, _, _ := pops.CriticalPath(adder, model)
+	b, _ := pops.Bounds(model, path.Clone())
+	out, _ := proto.OptimizeCircuit(adder, 1.4*b.Tmin)
+
+	ce, _ := pops.Equivalent(original, adder, 0, 1) // exhaustive: 9 inputs
+	fmt.Println("feasible:", out.Feasible)
+	fmt.Println("still adds:", ce == nil)
+	// Output:
+	// feasible: true
+	// still adds: true
+}
+
+// ExampleBenchmarks lists the evaluation suite of the paper's Table 1.
+func ExampleBenchmarks() {
+	var names []string
+	for _, s := range pops.Benchmarks() {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	fmt.Println(len(names), "benchmarks, including", names[2], "and", names[10])
+	// Output:
+	// 11 benchmarks, including c1908 and fpd
+}

@@ -1,0 +1,70 @@
+// Bufferstudy: reproduce the §4.1 methodology interactively — the
+// library's fan-out limits (Table 2), and what buffer insertion buys on
+// a path with an overloaded node, both for minimum delay (Table 3) and
+// for area at a constraint (Fig. 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	proc := pops.DefaultProcess()
+	model := pops.NewModel(proc)
+
+	// Library characterization: the protocol's critical-node metric.
+	fmt.Println("fan-out limits (driver INV):")
+	for _, e := range pops.CharacterizeLibrary(model) {
+		fmt.Printf("  %-6s Flimit = %.2f\n", e.Gate, e.Flimit)
+	}
+
+	// c880's substitute carries high-fanout hub nets on its spine —
+	// the configuration buffer insertion exists for.
+	circuit, err := pops.Benchmark("c880")
+	if err != nil {
+		log.Fatal(err)
+	}
+	path, _, err := pops.CriticalPath(circuit, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s critical path: %d gates\n", circuit.Name, path.Len())
+
+	// Minimum delay without structure modification…
+	bounds, err := pops.Bounds(model, path.Clone())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Tmin (sizing only):     %.0f ps\n", bounds.Tmin)
+
+	// …and with the protocol free to buffer the over-limit nodes
+	// (asking for an impossible constraint makes it chase pure speed).
+	proto, err := pops.NewProtocol(pops.ProtocolConfig{Model: model})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := proto.OptimizePath(path, 0.01*bounds.Tmin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gain := (bounds.Tmin - out.Delay) / bounds.Tmin * 100
+	fmt.Printf("Tmin (with buffers):    %.0f ps  (%d buffers, %.1f%% gain — Table 3 row)\n",
+		out.Delay, out.Buffers, gain)
+
+	// Area at a hard constraint: buffers let the gates shrink.
+	tc := 1.1 * bounds.Tmin
+	plain, err := pops.Distribute(model, path.Clone(), tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hard, err := proto.OptimizePath(path, tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhard constraint Tc = %.0f ps:\n", tc)
+	fmt.Printf("  sizing only:        %.0f µm\n", plain.Area)
+	fmt.Printf("  protocol (%s): %.0f µm\n", hard.Method, hard.Area)
+}

@@ -1,0 +1,55 @@
+// Quickstart: load a benchmark, look at its timing, size its critical
+// path to a delay constraint at minimum area with the constant
+// sensitivity method.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	proc := pops.DefaultProcess()
+	model := pops.NewModel(proc)
+
+	// The paper's c432 substitute (29-gate critical path, Table 1).
+	circuit, err := pops.Benchmark("c432")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sta, err := pops.Analyze(circuit, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := circuit.Stats()
+	fmt.Printf("%s: %d gates, worst delay %.0f ps unsized\n",
+		circuit.Name, stats.Gates, sta.WorstDelay)
+
+	// Delay-space exploration (§3.1): the feasibility bounds.
+	path, _, err := pops.CriticalPath(circuit, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bounds, err := pops.Bounds(model, path.Clone())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("critical path: %d gates, Tmin %.0f ps, Tmax %.0f ps\n",
+		path.Len(), bounds.Tmin, bounds.Tmax)
+
+	// Constraint distribution (§3.2): meet 1.3×Tmin at minimum area.
+	tc := 1.3 * bounds.Tmin
+	res, err := pops.Distribute(model, path, tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sized to Tc = %.0f ps: delay %.0f ps, path area %.1f µm (a = %.3g)\n",
+		tc, res.Delay, res.Area, res.A)
+
+	// An infeasible constraint is detected, not looped on.
+	if _, err := pops.Distribute(model, path.Clone(), 0.5*bounds.Tmin); err != nil {
+		fmt.Printf("0.5×Tmin correctly rejected: %v\n", err)
+	}
+}

@@ -1,0 +1,67 @@
+package delay
+
+import (
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/tech"
+)
+
+func TestFastInputShareWellSizedPath(t *testing.T) {
+	// A sensibly tapered chain is entirely in the fast input range.
+	p := tech.CMOS025()
+	m := NewModel(p)
+	pa := &Path{Name: "taper", TauIn: DefaultTauIn(p)}
+	cin := 2.0
+	for i := 0; i < 5; i++ {
+		pa.Stages = append(pa.Stages, Stage{Cell: gate.MustLookup(gate.Inv), CIn: cin})
+		cin *= 3
+	}
+	pa.Stages[4].COff = cin
+	if share := m.FastInputShare(pa, 0); share < 0.99 {
+		t.Fatalf("tapered chain share %g, want 1", share)
+	}
+}
+
+func TestFastInputShareDetectsSlowDrivers(t *testing.T) {
+	// A big gate driven by a starved one sees a slow input edge: the
+	// condition the paper's model excludes.
+	p := tech.CMOS025()
+	m := NewModel(p)
+	pa := &Path{
+		Name:  "starved",
+		TauIn: DefaultTauIn(p),
+		Stages: []Stage{
+			{Cell: gate.MustLookup(gate.Inv), CIn: p.CRef, COff: 300}, // tiny gate, huge load
+			{Cell: gate.MustLookup(gate.Inv), CIn: 400, COff: 40},     // huge gate, light load
+		},
+	}
+	if share := m.FastInputShare(pa, 0); share > 0.6 {
+		t.Fatalf("starved stage not detected: share %g", share)
+	}
+}
+
+func TestFastInputShareAtTminIsHigh(t *testing.T) {
+	// The optimizer's own solutions must live in the model's validity
+	// range — otherwise the paper's framework would be self-
+	// inconsistent. (Checked indirectly: balanced taper ⇒ comparable
+	// transitions.)
+	p := tech.CMOS025()
+	m := NewModel(p)
+	pa := &Path{Name: "mixed", TauIn: DefaultTauIn(p)}
+	for _, ty := range []gate.Type{gate.Inv, gate.Nand2, gate.Nor2, gate.Nand3, gate.Inv} {
+		pa.Stages = append(pa.Stages, Stage{Cell: gate.MustLookup(ty), CIn: 4, COff: 3})
+	}
+	pa.Stages[4].COff = 60
+	// Emulate a balanced sizing: geometric growth toward the load.
+	sizes := []float64{4, 7, 12, 21, 36}
+	for i := range sizes {
+		pa.Stages[i].CIn = sizes[i]
+	}
+	if share := m.FastInputShare(pa, 0); share < 0.8 {
+		t.Fatalf("balanced path share %g", share)
+	}
+	if empty := m.FastInputShare(&Path{}, 0); empty != 1 {
+		t.Fatalf("empty path share %g", empty)
+	}
+}

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gate"
+)
+
+// The experiment tests assert the *shapes* the paper reports: who
+// wins, by roughly what factor, where the crossovers fall. Absolute
+// picoseconds/microns are substrate-specific.
+
+func env(t *testing.T) *Env {
+	t.Helper()
+	return NewEnv()
+}
+
+func TestFig1Shape(t *testing.T) {
+	e := env(t)
+	points, tmax, tmin, err := e.Fig1("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 3 {
+		t.Fatalf("only %d iteration points", len(points))
+	}
+	// The trajectory descends from near Tmax toward Tmin while the
+	// capacitance budget grows (paper Fig. 1).
+	first, last := points[0], points[len(points)-1]
+	if !(tmin < first.Delay && first.Delay <= tmax*1.01) {
+		t.Fatalf("start %g outside (Tmin %g, Tmax %g]", first.Delay, tmin, tmax)
+	}
+	if math.Abs(last.Delay-tmin) > 0.01*tmin {
+		t.Fatalf("trajectory ends at %g, Tmin %g", last.Delay, tmin)
+	}
+	if last.SumCInRef <= first.SumCInRef {
+		t.Fatal("capacitance budget did not grow")
+	}
+	fig, err := e.Fig1Figure("c432")
+	if err != nil || len(fig.Series) == 0 {
+		t.Fatalf("figure rendering: %v", err)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	e := env(t)
+	rows, err := e.Fig2(SmallBenchmarks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(SmallBenchmarks()) {
+		t.Fatalf("row count %d", len(rows))
+	}
+	for _, r := range rows {
+		// POPS finds the convex optimum; the greedy grid cannot beat
+		// it, and should land within ~1.6×.
+		if r.POPS > r.AMPS*(1+1e-6) {
+			t.Fatalf("%s: POPS %g above AMPS %g", r.Name, r.POPS, r.AMPS)
+		}
+		if r.AMPS > 1.6*r.POPS {
+			t.Fatalf("%s: baseline implausibly weak (%gx)", r.Name, r.AMPS/r.POPS)
+		}
+	}
+	_ = Fig2Table(rows)
+}
+
+func TestFig3Shape(t *testing.T) {
+	e := env(t)
+	points, err := e.Fig3("c432", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walking a = 0 → -6: delay grows, area falls — the convex front.
+	for i := 1; i < len(points); i++ {
+		if points[i].Delay < points[i-1].Delay*(1-1e-9) {
+			t.Fatalf("delay not monotone at a=%g", points[i].A)
+		}
+		if points[i].Area > points[i-1].Area*(1+1e-9) {
+			t.Fatalf("area not monotone at a=%g", points[i].A)
+		}
+	}
+	// The front is steep near a=0: tiny delay sacrifice, large area
+	// saving (the paper's motivation for the method).
+	d0, dn := points[0], points[len(points)-1]
+	if dn.Area > 0.5*d0.Area {
+		t.Fatalf("front too flat: area only %g → %g", d0.Area, dn.Area)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	e := env(t)
+	rows, err := e.Fig4([]string{"fpd", "c432", "c880"}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.POPS > r.AMPS*1.02 {
+			t.Fatalf("%s: POPS area %g above baseline %g at equal Tc", r.Name, r.POPS, r.AMPS)
+		}
+	}
+	_ = Fig4Table(rows)
+}
+
+func TestTable1Shape(t *testing.T) {
+	e := env(t)
+	rows, err := e.Table1([]string{"c432", "c1355"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.POPS <= 0 || r.AMPS <= 0 {
+			t.Fatalf("%s: degenerate timings %v %v", r.Name, r.POPS, r.AMPS)
+		}
+		// Table 1's point: a deterministic distribution is much faster
+		// than an evaluation-driven sizer, with the gap widening with
+		// path length (the paper's AMPS carries a huge SPICE-in-the-
+		// loop constant on top; see EXPERIMENTS.md). Require one order
+		// of magnitude on these 29/30-gate paths.
+		if r.Speedup < 10 {
+			t.Fatalf("%s: speedup only %.1fx", r.Name, r.Speedup)
+		}
+	}
+	_ = Table1Table(rows)
+}
+
+func TestTable2Shape(t *testing.T) {
+	e := env(t)
+	rows, err := e.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 characterization rows, got %d", len(rows))
+	}
+	byGate := map[gate.Type]Table2Row{}
+	for _, r := range rows {
+		byGate[r.Gate] = r
+		// The transistor-level column tracks the calculated one with a
+		// systematic shift (~1.4×): the paper's model was *fitted* to
+		// its SPICE, ours only shares path-level calibration. The
+		// shape contract is the ordering and spread, checked below.
+		if rel := math.Abs(r.Calculated-r.Simulated) / r.Calculated; rel > 0.6 {
+			t.Fatalf("%v: calc %g vs sim %g (%.0f%%)", r.Gate, r.Calculated, r.Simulated, rel*100)
+		}
+	}
+	// Published ordering, in both columns.
+	order := []gate.Type{gate.Inv, gate.Nand2, gate.Nand3, gate.Nor2, gate.Nor3}
+	for i := 1; i < len(order); i++ {
+		if byGate[order[i]].Calculated >= byGate[order[i-1]].Calculated {
+			t.Fatalf("calculated ordering broken at %v", order[i])
+		}
+		if byGate[order[i]].Simulated >= byGate[order[i-1]].Simulated {
+			t.Fatalf("simulated ordering broken at %v", order[i])
+		}
+	}
+	// Spread: the paper sees roughly 2× between INV and NOR3.
+	if r := byGate[gate.Inv].Calculated / byGate[gate.Nor3].Calculated; r < 1.3 || r > 3.5 {
+		t.Fatalf("calculated spread %g implausible", r)
+	}
+	_ = Table2Table(rows)
+}
+
+func TestTable3Shape(t *testing.T) {
+	e := env(t)
+	rows, err := e.Table3(SmallBenchmarks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyGain := false
+	for _, r := range rows {
+		if r.Buff > r.Sizing*(1+1e-9) {
+			t.Fatalf("%s: buffering worsened Tmin", r.Name)
+		}
+		// Paper gains run 2-22%; allow 0-30% here.
+		if r.GainPct > 30 {
+			t.Fatalf("%s: gain %.1f%% implausibly large", r.Name, r.GainPct)
+		}
+		if r.GainPct > 2 {
+			anyGain = true
+		}
+	}
+	if !anyGain {
+		t.Fatal("no benchmark benefited from buffer insertion")
+	}
+	_ = Table3Table(rows)
+}
+
+func TestFig6Shape(t *testing.T) {
+	e := env(t)
+	fronts, err := e.Fig6("c1355")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fronts.TminBuffered > fronts.Tmin*(1+1e-9) {
+		t.Fatal("buffered front cannot have a worse minimum")
+	}
+	// Both fronts are monotone trade-offs.
+	check := func(pts []Fig3Point, label string) {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Delay < pts[i-1].Delay*(1-1e-9) || pts[i].Area > pts[i-1].Area*(1+1e-9) {
+				t.Fatalf("%s front not monotone at a=%g", label, pts[i].A)
+			}
+		}
+	}
+	check(fronts.Sizing, "sizing")
+	check(fronts.Buffered, "buffered")
+}
+
+func TestFig8Shape(t *testing.T) {
+	e := env(t)
+	rows, err := e.Fig8([]string{"c880", "c1355"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Fig8Row{}
+	for _, r := range rows {
+		byKey[r.Name+"/"+r.Domain] = r
+	}
+	for _, name := range []string{"c880", "c1355"} {
+		hard := byKey[name+"/hard"]
+		weak := byKey[name+"/weak"]
+		if !hard.SizingOK || !hard.GlobOK || !weak.SizingOK {
+			t.Fatalf("%s: missing feasible methods: %+v %+v", name, hard, weak)
+		}
+		// The paper's headline: under hard constraints, buffer
+		// insertion with global sizing saves a lot of area.
+		if hard.GlobalB > hard.Sizing*(1+1e-9) {
+			t.Fatalf("%s hard: global buffering (%g) worse than sizing (%g)",
+				name, hard.GlobalB, hard.Sizing)
+		}
+		// Weak constraints: everything cheap, methods within ~25%.
+		if weak.GlobOK && weak.GlobalB > weak.Sizing*1.25 {
+			t.Fatalf("%s weak: methods diverge: %g vs %g", name, weak.GlobalB, weak.Sizing)
+		}
+	}
+	_ = Fig8Tables(rows)
+}
+
+func TestTable4Shape(t *testing.T) {
+	e := env(t)
+	rows, err := e.Table4([]string{"c1355", "c1908"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRewrite := false
+	for _, r := range rows {
+		if r.Rewrites > 0 {
+			sawRewrite = true
+		}
+		// Restructuring should be competitive: within 25% of
+		// buffering, usually better (paper: 4-16% better).
+		if r.Restruct > r.Buff*1.25 {
+			t.Fatalf("%s/%s: restructure %g far above buffering %g",
+				r.Name, r.Domain, r.Restruct, r.Buff)
+		}
+	}
+	if !sawRewrite {
+		t.Fatal("no NOR was rewritten on any path")
+	}
+	_ = Table4Table(rows)
+}
+
+func TestAblations(t *testing.T) {
+	e := env(t)
+	slope, err := e.AblationSlope("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropping the slope term must make the predicted Tmin optimistic.
+	if slope.Ablated > slope.Baseline {
+		t.Fatal("removing the slope term increased the predicted delay")
+	}
+	if slope.DeltaPct < 1 {
+		t.Fatalf("slope term contributes only %.2f%% — suspicious", slope.DeltaPct)
+	}
+	miller, err := e.AblationMiller("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miller.Ablated > miller.Baseline {
+		t.Fatal("removing coupling increased the predicted delay")
+	}
+	seed, err := e.AblationSeeding("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seed.DeltaPct) > 1 {
+		t.Fatalf("Tmin moved %.2f%% under a different seed", seed.DeltaPct)
+	}
+	su, err := e.AblationSutherland("c880", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range su {
+		if r.DeltaPct < 0 {
+			t.Fatalf("Sutherland cheaper than constant sensitivity: %+v", r)
+		}
+	}
+	leRow, err := e.AblationLogicalEffort("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classic LE cannot beat the full-model optimum. On hub-loaded
+	// benchmark paths it loses big (tested band ≤ 200%): LE folds the
+	// fixed off-path loads into a constant branching effort, i.e. it
+	// assumes side loads scale with the path, which they do not — the
+	// precise weakness the paper's exact bounded-path treatment fixes.
+	// (On branch-free chains LE lands within 15% of Tmin; see the le
+	// package tests.)
+	if leRow.DeltaPct < -0.01 {
+		t.Fatalf("logical effort beat the convex optimum: %+v", leRow)
+	}
+	if leRow.DeltaPct > 200 {
+		t.Fatalf("logical effort implausibly bad: %+v", leRow)
+	}
+	_ = AblationTable(append(su, *slope, *miller, *seed, *leRow))
+}
+
+func TestFigureAndTableRenderers(t *testing.T) {
+	e := env(t)
+	if len(AllBenchmarks()) != 11 {
+		t.Fatalf("AllBenchmarks: %v", AllBenchmarks())
+	}
+	f3, err := e.Fig3Figure("fpd")
+	if err != nil || len(f3.Series) == 0 {
+		t.Fatalf("Fig3Figure: %v", err)
+	}
+	f6, err := e.Fig6Figure("fpd")
+	if err != nil || len(f6.Series) < 2 {
+		t.Fatalf("Fig6Figure: %v", err)
+	}
+	rows, err := e.Table1([]string{"fpd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := Table1Table(rows)
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("Table1Table rows %d", len(tbl.Rows))
+	}
+	if cell(0, false) != "-" || cell(12.3, true) == "-" {
+		t.Fatal("cell renderer broken")
+	}
+}

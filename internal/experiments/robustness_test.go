@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+func TestWireUncertaintyShape(t *testing.T) {
+	e := env(t)
+	rows, err := e.WireUncertainty([]string{"fpd", "c880"}, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.TminBase <= 0 || r.AreaBase <= 0 {
+			t.Fatalf("%s: degenerate baseline %+v", r.Name, r)
+		}
+		// ±30% wire error must not move the bound wildly — the nets
+		// are a minority of the load (the paper's protocol re-runs
+		// instead of margining, which only works if drift is modest).
+		if r.DriftPct > 15 {
+			t.Fatalf("%s: Tmin drift %.1f%% too large", r.Name, r.DriftPct)
+		}
+		if r.AreaDrift > 60 {
+			t.Fatalf("%s: area drift %.1f%% too large", r.Name, r.AreaDrift)
+		}
+	}
+	_ = WireUncertaintyTable(rows)
+}
+
+func TestSeedSweepShape(t *testing.T) {
+	e := env(t)
+	row, err := e.SeedSweep("c880", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Gains) != 3 {
+		t.Fatalf("gains %v", row.Gains)
+	}
+	for _, g := range row.Gains {
+		// Buffering can never hurt Tmin, and synthetic gains stay in a
+		// plausible band.
+		if g < -1e-6 || g > 60 {
+			t.Fatalf("gain %g%% out of band", g)
+		}
+	}
+	if row.MinGain > row.MeanGain || row.MeanGain > row.MaxGain {
+		t.Fatalf("summary inconsistent: %+v", row)
+	}
+	_ = SeedSweepTable([]*SeedSweepRow{row})
+}

@@ -1,0 +1,281 @@
+package gate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+func TestParseTypeAliases(t *testing.T) {
+	cases := map[string]Type{
+		"INV": Inv, "NOT": Inv, "not": Inv,
+		"BUF": Buf, "BUFF": Buf, "buff": Buf,
+		"NAND": Nand2, "NAND2": Nand2, "NAND3": Nand3, "NAND4": Nand4,
+		"NOR": Nor2, "NOR2": Nor2, "NOR3": Nor3, "NOR4": Nor4,
+		"AND": And2, "AND3": And3, "AND4": And4,
+		"OR": Or2, "OR3": Or3, "OR4": Or4,
+		"XOR": Xor2, "XNOR": Xnor2,
+		"INPUT": Input, "OUTPUT": Output,
+	}
+	for s, want := range cases {
+		got, err := ParseType(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseType(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+}
+
+func TestParseTypeUnknown(t *testing.T) {
+	for _, s := range []string{"", "FOO", "NAND5", "XOR3"} {
+		if _, err := ParseType(s); err == nil {
+			t.Fatalf("ParseType(%q) must fail", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, ty := range append(Primitives(), Composites()...) {
+		back, err := ParseType(ty.String())
+		if err != nil || back != ty {
+			t.Fatalf("round trip %v → %q → %v, %v", ty, ty.String(), back, err)
+		}
+	}
+	if !strings.Contains(Type(99).String(), "99") {
+		t.Fatal("unknown type String must include the numeric value")
+	}
+}
+
+func TestLookupCoverage(t *testing.T) {
+	for _, ty := range append(Primitives(), Composites()...) {
+		c, err := Lookup(ty)
+		if err != nil {
+			t.Fatalf("Lookup(%v): %v", ty, err)
+		}
+		if c.Type != ty {
+			t.Fatalf("Lookup(%v) returned cell of type %v", ty, c.Type)
+		}
+		if c.FanIn < 1 || c.FanIn > 4 {
+			t.Fatalf("%v has silly fan-in %d", ty, c.FanIn)
+		}
+		if c.DWHL < 1 || c.DWLH < 1 {
+			t.Fatalf("%v has logical weight below 1: %g/%g", ty, c.DWHL, c.DWLH)
+		}
+		if c.ParasiticFactor <= 0 {
+			t.Fatalf("%v has non-positive parasitic", ty)
+		}
+	}
+	for _, ty := range []Type{Input, Output, Invalid} {
+		if _, err := Lookup(ty); err == nil {
+			t.Fatalf("Lookup(%v) must fail", ty)
+		}
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup(Input) must panic")
+		}
+	}()
+	MustLookup(Input)
+}
+
+func TestIsPrimitiveIsLogic(t *testing.T) {
+	if !IsPrimitive(Nand3) || IsPrimitive(And2) || IsPrimitive(Input) {
+		t.Fatal("IsPrimitive misclassifies")
+	}
+	if !IsLogic(And2) || !IsLogic(Inv) || IsLogic(Input) || IsLogic(Output) {
+		t.Fatal("IsLogic misclassifies")
+	}
+}
+
+func TestSymmetryFactorOrdering(t *testing.T) {
+	p := tech.CMOS025()
+	inv := MustLookup(Inv)
+	// The rising edge pays the weak-P penalty R/k.
+	if inv.SLH(p) <= inv.SHL(p) {
+		t.Fatalf("inverter SLH (%g) must exceed SHL (%g) for R>k", inv.SLH(p), inv.SHL(p))
+	}
+	// NAND stacks degrade the falling edge, NOR the rising edge.
+	nand3 := MustLookup(Nand3)
+	nor3 := MustLookup(Nor3)
+	if nand3.SHL(p) <= inv.SHL(p) {
+		t.Fatal("NAND3 falling edge must be slower than the inverter's")
+	}
+	if nor3.SLH(p) <= inv.SLH(p) {
+		t.Fatal("NOR3 rising edge must be slower than the inverter's")
+	}
+	// NOR3 is the least efficient cell overall (paper Table 2).
+	for _, ty := range []Type{Inv, Nand2, Nand3, Nor2} {
+		if MustLookup(ty).SMean(p) >= nor3.SMean(p) {
+			t.Fatalf("%v must be more efficient than NOR3", ty)
+		}
+	}
+}
+
+func TestSMeanIsAverage(t *testing.T) {
+	p := tech.CMOS025()
+	for _, ty := range Primitives() {
+		c := MustLookup(ty)
+		want := (c.SHL(p) + c.SLH(p)) / 2
+		if math.Abs(c.SMean(p)-want) > 1e-12 {
+			t.Fatalf("%v SMean mismatch", ty)
+		}
+	}
+}
+
+func TestParasiticAndArea(t *testing.T) {
+	p := tech.CMOS025()
+	c := MustLookup(Nand2)
+	if got, want := c.Parasitic(3), 3*c.ParasiticFactor; got != want {
+		t.Fatalf("Parasitic = %g want %g", got, want)
+	}
+	// Two pins at 4 fF = 2 × 4/Cg µm.
+	if got, want := c.Area(4, p), 2*4/p.CgPerMicron; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Area = %g want %g", got, want)
+	}
+}
+
+func TestDeMorganDualInvolution(t *testing.T) {
+	duals := []Type{Nand2, Nand3, Nand4, Nor2, Nor3, Nor4, And2, And3, And4, Or2, Or3, Or4}
+	for _, ty := range duals {
+		d, ok := DeMorganDual(ty)
+		if !ok {
+			t.Fatalf("no dual for %v", ty)
+		}
+		back, ok := DeMorganDual(d)
+		if !ok || back != ty {
+			t.Fatalf("dual of dual of %v is %v", ty, back)
+		}
+		// Fan-in preserved.
+		if MustLookup(d).FanIn != MustLookup(ty).FanIn {
+			t.Fatalf("dual changes fan-in for %v", ty)
+		}
+	}
+	for _, ty := range []Type{Inv, Buf, Xor2, Xnor2, Input} {
+		if _, ok := DeMorganDual(ty); ok {
+			t.Fatalf("%v must have no dual", ty)
+		}
+	}
+}
+
+func TestDeMorganDualSemantics(t *testing.T) {
+	// dual(t)(¬a, ¬b, …) == ¬t(a, b, …) for every dual pair and every
+	// input assignment.
+	duals := []Type{Nand2, Nand3, Nand4, Nor2, Nor3, Nor4, And2, And3, And4, Or2, Or3, Or4}
+	for _, ty := range duals {
+		d, _ := DeMorganDual(ty)
+		n := MustLookup(ty).FanIn
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			in := make([]bool, n)
+			neg := make([]bool, n)
+			for i := 0; i < n; i++ {
+				in[i] = mask&(1<<uint(i)) != 0
+				neg[i] = !in[i]
+			}
+			if Eval(d, neg) != !Eval(ty, in) {
+				t.Fatalf("De Morgan violated for %v/%v at mask %b", ty, d, mask)
+			}
+		}
+	}
+}
+
+func TestEvalTruthTables(t *testing.T) {
+	check := func(ty Type, want func(in []bool) bool) {
+		n := MustLookup(ty).FanIn
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			in := make([]bool, n)
+			for i := 0; i < n; i++ {
+				in[i] = mask&(1<<uint(i)) != 0
+			}
+			if got := Eval(ty, in); got != want(in) {
+				t.Fatalf("%v(%v) = %v", ty, in, got)
+			}
+		}
+	}
+	all := func(in []bool) bool {
+		for _, v := range in {
+			if !v {
+				return false
+			}
+		}
+		return true
+	}
+	any := func(in []bool) bool {
+		for _, v := range in {
+			if v {
+				return true
+			}
+		}
+		return false
+	}
+	check(Inv, func(in []bool) bool { return !in[0] })
+	check(Buf, func(in []bool) bool { return in[0] })
+	for _, ty := range []Type{Nand2, Nand3, Nand4} {
+		check(ty, func(in []bool) bool { return !all(in) })
+	}
+	for _, ty := range []Type{And2, And3, And4} {
+		check(ty, all)
+	}
+	for _, ty := range []Type{Nor2, Nor3, Nor4} {
+		check(ty, func(in []bool) bool { return !any(in) })
+	}
+	for _, ty := range []Type{Or2, Or3, Or4} {
+		check(ty, any)
+	}
+	check(Xor2, func(in []bool) bool { return in[0] != in[1] })
+	check(Xnor2, func(in []bool) bool { return in[0] == in[1] })
+}
+
+func TestEvalPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval(Inv, 2 inputs) must panic")
+		}
+	}()
+	Eval(Inv, []bool{true, false})
+}
+
+func TestVariantWithFanIn(t *testing.T) {
+	cases := []struct {
+		family Type
+		n      int
+		want   Type
+		ok     bool
+	}{
+		{Nand2, 2, Nand2, true},
+		{Nand3, 4, Nand4, true},
+		{Nand2, 1, Inv, true},
+		{Nor4, 2, Nor2, true},
+		{Nor2, 1, Inv, true},
+		{And2, 3, And3, true},
+		{And2, 1, Buf, true},
+		{Or3, 4, Or4, true},
+		{Nand2, 5, Invalid, false},
+		{Nand2, 0, Invalid, false},
+		{Inv, 1, Invalid, false},
+		{Xor2, 2, Invalid, false},
+	}
+	for _, tc := range cases {
+		got, ok := VariantWithFanIn(tc.family, tc.n)
+		if ok != tc.ok || got != tc.want {
+			t.Fatalf("VariantWithFanIn(%v, %d) = %v, %v; want %v, %v",
+				tc.family, tc.n, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestPrimitivesStable(t *testing.T) {
+	a := Primitives()
+	b := Primitives()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatal("Primitives must be non-empty and stable")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Primitives order changed between calls")
+		}
+	}
+}

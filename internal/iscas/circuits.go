@@ -1,0 +1,137 @@
+package iscas
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gate"
+	"repro/internal/netlist"
+)
+
+// c17Bench is the genuine ISCAS'85 c17 benchmark — six NAND2 gates —
+// embedded for parser, STA and logic-equivalence tests.
+const c17Bench = `# c17
+# 5 inputs, 2 outputs, 6 gates
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+// C17 returns the genuine c17 benchmark circuit.
+func C17() *netlist.Circuit {
+	c, err := netlist.ReadBench(strings.NewReader(c17Bench), netlist.BenchOptions{Name: "c17"})
+	if err != nil {
+		panic("iscas: embedded c17 failed to parse: " + err.Error())
+	}
+	return c
+}
+
+// C17Bench returns the embedded c17 source text (round-trip tests).
+func C17Bench() string { return c17Bench }
+
+// RippleCarryAdder builds a structural n-bit ripple-carry adder over
+// the primitive NAND/INV library. Each full adder uses the classic
+// nine-NAND-gate realization:
+//
+//	m  = NAND(a, b)
+//	s1 = NAND(a, m), s2 = NAND(b, m), p = NAND(s1, s2)   // p = a⊕b
+//	n  = NAND(p, cin)
+//	t1 = NAND(p, n), t2 = NAND(cin, n), sum = NAND(t1, t2)
+//	cout = NAND(m, n)
+//
+// Inputs are a0..a(n-1), b0..b(n-1) and cin; outputs sum0..sum(n-1)
+// and cout. The carry chain is the critical path. This is a genuine
+// arithmetic circuit (the logic tests verify real additions on it).
+func RippleCarryAdder(bits int) (*netlist.Circuit, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("iscas: adder needs ≥1 bit, got %d", bits)
+	}
+	c := netlist.New(fmt.Sprintf("rca%d", bits))
+	for i := 0; i < bits; i++ {
+		if _, err := c.AddInput(fmt.Sprintf("a%d", i)); err != nil {
+			return nil, err
+		}
+		if _, err := c.AddInput(fmt.Sprintf("b%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := c.AddInput("cin"); err != nil {
+		return nil, err
+	}
+
+	// xorNand emits p = x ⊕ y via four NAND2s, returning (p, m) with
+	// m = NAND(x, y) for carry reuse.
+	xorNand := func(prefix, x, y string) (p, m string, err error) {
+		m = prefix + "_m"
+		if _, err = c.AddGate(m, gate.Nand2, x, y); err != nil {
+			return
+		}
+		s1 := prefix + "_s1"
+		if _, err = c.AddGate(s1, gate.Nand2, x, m); err != nil {
+			return
+		}
+		s2 := prefix + "_s2"
+		if _, err = c.AddGate(s2, gate.Nand2, y, m); err != nil {
+			return
+		}
+		p = prefix + "_p"
+		_, err = c.AddGate(p, gate.Nand2, s1, s2)
+		return
+	}
+
+	carry := "cin"
+	for i := 0; i < bits; i++ {
+		a := fmt.Sprintf("a%d", i)
+		b := fmt.Sprintf("b%d", i)
+		fa := fmt.Sprintf("fa%d", i)
+		p, m, err := xorNand(fa+"_x1", a, b)
+		if err != nil {
+			return nil, err
+		}
+		n := fa + "_n"
+		if _, err := c.AddGate(n, gate.Nand2, p, carry); err != nil {
+			return nil, err
+		}
+		t1 := fa + "_t1"
+		if _, err := c.AddGate(t1, gate.Nand2, p, n); err != nil {
+			return nil, err
+		}
+		t2 := fa + "_t2"
+		if _, err := c.AddGate(t2, gate.Nand2, carry, n); err != nil {
+			return nil, err
+		}
+		sum := fmt.Sprintf("sum%d", i)
+		if _, err := c.AddGate(sum, gate.Nand2, t1, t2); err != nil {
+			return nil, err
+		}
+		cout := fa + "_c"
+		if _, err := c.AddGate(cout, gate.Nand2, m, n); err != nil {
+			return nil, err
+		}
+		carry = cout
+	}
+	for i := 0; i < bits; i++ {
+		if _, err := c.AddOutput(fmt.Sprintf("sum%d", i), netlist.DefaultOutputLoad); err != nil {
+			return nil, err
+		}
+	}
+	// Re-drive the final carry through an alias so the output name is
+	// stable regardless of bit count.
+	if _, err := c.AddGate("cout", gate.Buf, carry); err != nil {
+		return nil, err
+	}
+	if _, err := c.AddOutput("cout", netlist.DefaultOutputLoad); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

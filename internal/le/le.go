@@ -1,0 +1,127 @@
+// Package le implements classic logical effort (Sutherland, Sproull,
+// Harris — the paper's reference [4]) as an independent baseline for
+// the delay-bound experiments. The paper notes its transition-time
+// expressions (eq. 2-3) are "quite similar to the logical effort
+// expressions"; this package provides the genuine article so the two
+// minimum-delay predictions can be compared: path effort
+//
+//	F̂ = G·B·H   (logical × branching × electrical effort)
+//
+// optimal stage effort f* = F̂^(1/N), minimum delay
+// D = N·F̂^(1/N) + P (in units of τ_LE), and the optimal stage count
+// N* ≈ log₄ F̂ when buffering is free.
+package le
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/delay"
+	"repro/internal/tech"
+)
+
+// Analysis is the logical-effort view of a bounded path.
+type Analysis struct {
+	// G, B, H are the aggregate logical, branching and electrical
+	// efforts; F is their product (path effort).
+	G, B, H, F float64
+	// N is the path's stage count; Fopt the optimal per-stage effort
+	// F^(1/N).
+	N    int
+	Fopt float64
+	// P is the aggregate parasitic delay (τ_LE units).
+	P float64
+	// DelayUnits is the minimum path delay in τ_LE units:
+	// N·F^(1/N) + P.
+	DelayUnits float64
+	// DelayPs converts DelayUnits with the corner's τ_LE (see TauLE).
+	DelayPs float64
+	// NStar is the effort-optimal stage count log₄(F), the number of
+	// stages an unconstrained buffered implementation would use.
+	NStar float64
+	// SizesFF are the optimal per-stage input capacitances implied by
+	// backward application of the optimal stage effort.
+	SizesFF []float64
+}
+
+// TauLE returns the logical-effort time unit of the corner: the delay
+// slope of the reference inverter per unit electrical effort, derived
+// from the same eq. (2-3) parameters (edge-averaged).
+func TauLE(p *tech.Process) float64 {
+	// Edge-averaged inverter symmetry factor × τ, halved by the
+	// 50%-crossing convention of eq. (1)'s output term.
+	s := p.S0 * (1 + p.K) * (1 + p.R/p.K) / 2
+	return s * p.Tau / 2
+}
+
+// gOf returns a cell's logical effort: its edge-averaged drive
+// degradation relative to the reference inverter.
+func gOf(st *delay.Stage, p *tech.Process) float64 {
+	inv := 1 + p.R/p.K // inverter's edge-sum weight (DW = 1 on both edges)
+	return (st.Cell.DWHL + st.Cell.DWLH*p.R/p.K) / inv
+}
+
+// Analyze computes the logical-effort quantities of a bounded path.
+// The first stage's input capacitance and the final loads are taken
+// from the path (the same bounded-path contract the POPS methods use).
+func Analyze(pa *delay.Path, p *tech.Process) (*Analysis, error) {
+	if err := pa.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(pa.Stages)
+	a := &Analysis{N: n, G: 1, B: 1}
+
+	// Electrical effort: terminal load over the fixed input drive.
+	cin0 := pa.Stages[0].CIn
+	cLast := pa.Stages[n-1].COff
+	a.H = cLast / cin0
+
+	for i := range pa.Stages {
+		st := &pa.Stages[i]
+		a.G *= gOf(st, p)
+		// Branching effort: (useful + side load) / useful load.
+		if i+1 < n {
+			useful := pa.Stages[i+1].CIn
+			if useful > 0 {
+				a.B *= (useful + st.COff) / useful
+			}
+		}
+		a.P += st.Cell.ParasiticFactor
+	}
+	a.F = a.G * a.B * a.H
+	if a.F <= 0 {
+		return nil, fmt.Errorf("le: non-positive path effort %g", a.F)
+	}
+	a.Fopt = math.Pow(a.F, 1/float64(n))
+	a.DelayUnits = float64(n)*a.Fopt + a.P
+	a.DelayPs = a.DelayUnits * TauLE(p)
+	a.NStar = math.Log(a.F) / math.Log(4)
+
+	// Optimal sizes by the backward recurrence
+	// C_in(i) = g_i · C_out(i) / f*.
+	sizes := make([]float64, n)
+	sizes[n-1] = 0 // placeholder; fill backward
+	cout := cLast
+	for i := n - 1; i >= 0; i-- {
+		st := &pa.Stages[i]
+		cin := gOf(st, p) * cout / a.Fopt
+		sizes[i] = cin
+		// The next stage up drives this stage's pin plus side loads.
+		if i > 0 {
+			cout = cin + pa.Stages[i-1].COff
+		}
+	}
+	a.SizesFF = sizes
+	return a, nil
+}
+
+// ApplySizes writes the logical-effort optimal sizes onto a clone of
+// the path (clamped to the corner's drive range) and returns it, so
+// the closed-form model can evaluate the LE solution directly.
+func ApplySizes(pa *delay.Path, a *Analysis, p *tech.Process) *delay.Path {
+	q := pa.Clone()
+	for i := 1; i < len(q.Stages); i++ {
+		q.Stages[i].CIn = p.ClampCap(a.SizesFF[i])
+	}
+	return q
+}

@@ -1,0 +1,145 @@
+package le
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/gate"
+	"repro/internal/sizing"
+	"repro/internal/tech"
+)
+
+func invChain(p *tech.Process, n int, cin0, load float64) *delay.Path {
+	pa := &delay.Path{Name: "chain", TauIn: delay.DefaultTauIn(p)}
+	for i := 0; i < n; i++ {
+		pa.Stages = append(pa.Stages, delay.Stage{Cell: gate.MustLookup(gate.Inv), CIn: cin0, COff: 0})
+	}
+	pa.Stages[0].CIn = cin0
+	pa.Stages[n-1].COff = load
+	return pa
+}
+
+func TestAnalyzeInverterChainTextbook(t *testing.T) {
+	// Textbook case: inverter chain, no branching — G = 1, B = 1,
+	// H = C_L/C_in, f* = H^(1/N), N* = log4 H.
+	p := tech.CMOS025()
+	pa := invChain(p, 3, 2, 128)
+	a, err := Analyze(pa, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.G-1) > 1e-12 || math.Abs(a.B-1) > 1e-12 {
+		t.Fatalf("inverter chain efforts G=%g B=%g", a.G, a.B)
+	}
+	if math.Abs(a.H-64) > 1e-9 {
+		t.Fatalf("H = %g, want 64", a.H)
+	}
+	if math.Abs(a.Fopt-4) > 1e-9 {
+		t.Fatalf("f* = %g, want 4 (64^(1/3))", a.Fopt)
+	}
+	if math.Abs(a.NStar-3) > 1e-9 {
+		t.Fatalf("N* = %g, want 3", a.NStar)
+	}
+	// Optimal sizes form a geometric taper ×4.
+	for i := 1; i < 3; i++ {
+		ratio := a.SizesFF[i] / a.SizesFF[i-1]
+		if math.Abs(ratio-4) > 1e-6 {
+			t.Fatalf("taper ratio %g at stage %d", ratio, i)
+		}
+	}
+}
+
+func TestLogicalEffortOfGates(t *testing.T) {
+	p := tech.CMOS025()
+	inv := &delay.Stage{Cell: gate.MustLookup(gate.Inv)}
+	nand := &delay.Stage{Cell: gate.MustLookup(gate.Nand2)}
+	nor := &delay.Stage{Cell: gate.MustLookup(gate.Nor3)}
+	if math.Abs(gOf(inv, p)-1) > 1e-12 {
+		t.Fatalf("inverter logical effort %g", gOf(inv, p))
+	}
+	if gOf(nand, p) <= 1 || gOf(nor, p) <= gOf(nand, p) {
+		t.Fatalf("effort ordering broken: nand %g nor3 %g", gOf(nand, p), gOf(nor, p))
+	}
+}
+
+func TestBranchingEffort(t *testing.T) {
+	p := tech.CMOS025()
+	pa := invChain(p, 2, 2, 32)
+	// Side load on stage 0 equal to the useful load doubles B.
+	pa.Stages[0].COff = pa.Stages[1].CIn
+	a, err := Analyze(pa, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.B-2) > 1e-9 {
+		t.Fatalf("B = %g, want 2", a.B)
+	}
+}
+
+func TestLEPredictsNearTmin(t *testing.T) {
+	// The LE minimum-delay sizing, evaluated under the full eq. (1)
+	// model, must land near (and never below) the POPS Tmin on a
+	// branch-free chain — the two frameworks agree where their
+	// assumptions coincide.
+	p := tech.CMOS025()
+	m := delay.NewModel(p)
+	pa := invChain(p, 5, 2, 200)
+	a, err := Analyze(pa, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leSized := ApplySizes(pa, a, p)
+	leDelay := m.PathDelayWorst(leSized)
+
+	rt, err := sizing.Tmin(m, pa.Clone(), sizing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leDelay < rt.Delay*(1-1e-6) {
+		t.Fatalf("LE sizing beat the convex optimum: %g < %g", leDelay, rt.Delay)
+	}
+	if leDelay > rt.Delay*1.15 {
+		t.Fatalf("LE sizing %g far from Tmin %g", leDelay, rt.Delay)
+	}
+}
+
+func TestLEDelayEstimateTracksModel(t *testing.T) {
+	// The closed-form LE delay prediction (in ps via TauLE) tracks the
+	// eq. (1) evaluation of its own sizing within a modest band — the
+	// "quite similar to the logical effort expressions" remark of §2.2.
+	p := tech.CMOS025()
+	m := delay.NewModel(p)
+	pa := invChain(p, 4, 2, 100)
+	a, err := Analyze(pa, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leSized := ApplySizes(pa, a, p)
+	modelDelay := m.PathDelayMean(leSized)
+	if ratio := a.DelayPs / modelDelay; ratio < 0.5 || ratio > 1.6 {
+		t.Fatalf("LE estimate %g vs model %g (ratio %g)", a.DelayPs, modelDelay, ratio)
+	}
+}
+
+func TestAnalyzeRejectsInvalidPath(t *testing.T) {
+	p := tech.CMOS025()
+	if _, err := Analyze(&delay.Path{Name: "empty"}, p); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestNStarGrowsWithLoad(t *testing.T) {
+	p := tech.CMOS025()
+	small, err := Analyze(invChain(p, 3, 2, 16), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Analyze(invChain(p, 3, 2, 1024), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.NStar <= small.NStar {
+		t.Fatal("optimal stage count must grow with load")
+	}
+}

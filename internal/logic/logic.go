@@ -1,0 +1,197 @@
+// Package logic evaluates the boolean function of a netlist and checks
+// functional equivalence between circuits. The restructuring step of
+// the protocol (§4.2, De Morgan rewrites) must preserve logic; this
+// package provides the proof obligation: exhaustive equivalence for
+// small input counts and randomized equivalence for large ones.
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/gate"
+	"repro/internal/netlist"
+)
+
+// Eval computes the primary-output values of circuit c under the given
+// primary-input assignment. The returned map is keyed by output net
+// name (without the "$po" suffix of the observation pseudo-node).
+func Eval(c *netlist.Circuit, in map[string]bool) (map[string]bool, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	val := make(map[*netlist.Node]bool, len(order))
+	for _, n := range order {
+		switch {
+		case n.Type == gate.Input:
+			v, ok := in[n.Name]
+			if !ok {
+				return nil, fmt.Errorf("logic: no value for input %q", n.Name)
+			}
+			val[n] = v
+		case n.Type == gate.Output:
+			val[n] = val[n.Fanin[0]]
+		default:
+			args := make([]bool, len(n.Fanin))
+			for i, f := range n.Fanin {
+				args[i] = val[f]
+			}
+			val[n] = gate.Eval(n.Type, args)
+		}
+	}
+	out := make(map[string]bool, len(c.Outputs))
+	for _, o := range c.Outputs {
+		out[strings.TrimSuffix(o.Name, "$po")] = val[o]
+	}
+	return out, nil
+}
+
+// Counterexample records an input assignment on which two circuits
+// disagree, for diagnostics.
+type Counterexample struct {
+	Inputs map[string]bool
+	Output string // name of a disagreeing output
+	A, B   bool
+}
+
+func (ce *Counterexample) String() string {
+	if ce == nil {
+		return "<equivalent>"
+	}
+	names := make([]string, 0, len(ce.Inputs))
+	for k := range ce.Inputs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&sb, "%s=%v ", k, ce.Inputs[k])
+	}
+	return fmt.Sprintf("output %s: %v vs %v under %s", ce.Output, ce.A, ce.B, strings.TrimSpace(sb.String()))
+}
+
+// ExhaustiveLimit is the input count up to which Equivalent checks all
+// 2^n assignments.
+const ExhaustiveLimit = 16
+
+// Equivalent checks that circuits a and b compute the same function:
+// identical input name sets, identical output name sets, and equal
+// outputs on every tested assignment. Up to ExhaustiveLimit inputs the
+// check is exhaustive; beyond that, trials random assignments drawn
+// from the seeded generator are used. It returns a counterexample on
+// failure and an error on structural mismatch.
+func Equivalent(a, b *netlist.Circuit, trials int, seed int64) (*Counterexample, error) {
+	ins, err := matchNames(inputNames(a), inputNames(b), "input")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := matchNames(outputNames(a), outputNames(b), "output"); err != nil {
+		return nil, err
+	}
+	n := len(ins)
+	check := func(assign map[string]bool) (*Counterexample, error) {
+		oa, err := Eval(a, assign)
+		if err != nil {
+			return nil, err
+		}
+		ob, err := Eval(b, assign)
+		if err != nil {
+			return nil, err
+		}
+		for name, va := range oa {
+			if vb := ob[name]; va != vb {
+				in := make(map[string]bool, len(assign))
+				for k, v := range assign {
+					in[k] = v
+				}
+				return &Counterexample{Inputs: in, Output: name, A: va, B: vb}, nil
+			}
+		}
+		return nil, nil
+	}
+
+	if n <= ExhaustiveLimit {
+		assign := make(map[string]bool, n)
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			for i, name := range ins {
+				assign[name] = mask&(1<<uint(i)) != 0
+			}
+			if ce, err := check(assign); ce != nil || err != nil {
+				return ce, err
+			}
+		}
+		return nil, nil
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	assign := make(map[string]bool, n)
+	for t := 0; t < trials; t++ {
+		for _, name := range ins {
+			assign[name] = rng.Intn(2) == 1
+		}
+		if ce, err := check(assign); ce != nil || err != nil {
+			return ce, err
+		}
+	}
+	// Also probe the all-zero, all-one, walking-one and walking-zero
+	// corners, which random sampling misses with high probability and
+	// which exercise wide AND/OR reductions (a single gate swapped
+	// deep inside an AND tree only shows under almost-all-ones
+	// vectors).
+	corners := make([]map[string]bool, 0, 2*n+2)
+	zero := make(map[string]bool, n)
+	one := make(map[string]bool, n)
+	for _, name := range ins {
+		zero[name] = false
+		one[name] = true
+	}
+	corners = append(corners, zero, one)
+	for i := range ins {
+		walkOne := make(map[string]bool, n)
+		walkZero := make(map[string]bool, n)
+		for j, name := range ins {
+			walkOne[name] = i == j
+			walkZero[name] = i != j
+		}
+		corners = append(corners, walkOne, walkZero)
+	}
+	for _, assign := range corners {
+		if ce, err := check(assign); ce != nil || err != nil {
+			return ce, err
+		}
+	}
+	return nil, nil
+}
+
+func inputNames(c *netlist.Circuit) []string {
+	names := make([]string, len(c.Inputs))
+	for i, n := range c.Inputs {
+		names[i] = n.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+func outputNames(c *netlist.Circuit) []string {
+	names := make([]string, len(c.Outputs))
+	for i, n := range c.Outputs {
+		names[i] = strings.TrimSuffix(n.Name, "$po")
+	}
+	sort.Strings(names)
+	return names
+}
+
+func matchNames(a, b []string, kind string) ([]string, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("logic: %s count mismatch: %d vs %d", kind, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return nil, fmt.Errorf("logic: %s name mismatch: %q vs %q", kind, a[i], b[i])
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,179 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/netlist"
+)
+
+func mkXorCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("xor")
+	for _, in := range []string{"a", "b"} {
+		if _, err := c.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add := func(name string, ty gate.Type, fanin ...string) {
+		if _, err := c.AddGate(name, ty, fanin...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("m", gate.Nand2, "a", "b")
+	add("p", gate.Nand2, "a", "m")
+	add("q", gate.Nand2, "b", "m")
+	add("y", gate.Nand2, "p", "q")
+	if _, err := c.AddOutput("y", 8); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEvalXor(t *testing.T) {
+	c := mkXorCircuit(t)
+	for mask := 0; mask < 4; mask++ {
+		a, b := mask&1 != 0, mask&2 != 0
+		out, err := Eval(c, map[string]bool{"a": a, "b": b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["y"] != (a != b) {
+			t.Fatalf("xor(%v,%v) = %v", a, b, out["y"])
+		}
+	}
+}
+
+func TestEvalMissingInput(t *testing.T) {
+	c := mkXorCircuit(t)
+	if _, err := Eval(c, map[string]bool{"a": true}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestEquivalentIdentity(t *testing.T) {
+	c := mkXorCircuit(t)
+	d := c.Clone()
+	ce, err := Equivalent(c, d, 0, 1)
+	if err != nil || ce != nil {
+		t.Fatalf("clone not equivalent: %v %v", ce, err)
+	}
+}
+
+func TestEquivalentDetectsDifference(t *testing.T) {
+	c := mkXorCircuit(t)
+	d := c.Clone()
+	// Retype the output gate: XOR becomes something else.
+	if err := d.ReplaceType(d.Node("y"), gate.Nor2); err != nil {
+		t.Fatal(err)
+	}
+	ce, err := Equivalent(c, d, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("difference not detected")
+	}
+	if ce.Output != "y" {
+		t.Fatalf("counterexample names output %q", ce.Output)
+	}
+	if !strings.Contains(ce.String(), "y") {
+		t.Fatal("counterexample string uninformative")
+	}
+}
+
+func TestEquivalentStructuralMismatch(t *testing.T) {
+	c := mkXorCircuit(t)
+	d := netlist.New("other")
+	if _, err := d.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddGate("y", gate.Inv, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddOutput("y", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Equivalent(c, d, 0, 1); err == nil {
+		t.Fatal("input-count mismatch accepted")
+	}
+}
+
+// wideCircuit builds an n-input AND tree (n > ExhaustiveLimit exercises
+// the randomized path).
+func wideCircuit(t *testing.T, n int, breakIt bool) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("wide")
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("i%d", i)
+		if _, err := c.AddInput(names[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	level := 0
+	for len(names) > 1 {
+		var next []string
+		for i := 0; i < len(names); i += 2 {
+			if i+1 == len(names) {
+				next = append(next, names[i])
+				continue
+			}
+			name := fmt.Sprintf("l%d_%d", level, i/2)
+			ty := gate.And2
+			if breakIt && level == 0 && i == 0 {
+				ty = gate.Or2
+			}
+			if _, err := c.AddGate(name, ty, names[i], names[i+1]); err != nil {
+				t.Fatal(err)
+			}
+			next = append(next, name)
+		}
+		names = next
+		level++
+	}
+	if _, err := c.AddOutput(names[0], 8); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEquivalentRandomizedPath(t *testing.T) {
+	a := wideCircuit(t, 20, false)
+	b := wideCircuit(t, 20, false)
+	ce, err := Equivalent(a, b, 50, 3)
+	if err != nil || ce != nil {
+		t.Fatalf("identical wide circuits flagged: %v %v", ce, err)
+	}
+	// A single AND→OR swap is found by the walking-one corners even
+	// when random vectors miss it.
+	bad := wideCircuit(t, 20, true)
+	ce, err = Equivalent(a, bad, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("broken wide circuit not detected")
+	}
+}
+
+func TestEquivalentOutputNameMismatch(t *testing.T) {
+	a := mkXorCircuit(t)
+	b := netlist.New("xor")
+	for _, in := range []string{"a", "b"} {
+		if _, err := b.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.AddGate("z", gate.Nand2, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddOutput("z", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Equivalent(a, b, 0, 1); err == nil {
+		t.Fatal("output-name mismatch accepted")
+	}
+}

@@ -1,0 +1,406 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/gate"
+)
+
+// BenchOptions controls .bench parsing.
+type BenchOptions struct {
+	// OutputLoad is the terminal capacitance (fF) attached to every
+	// primary output — the register input capacitance that bounds the
+	// path per §2.2. Zero selects DefaultOutputLoad.
+	OutputLoad float64
+	// Name overrides the circuit name (otherwise taken from the first
+	// "# name" comment or left empty).
+	Name string
+}
+
+// DefaultOutputLoad is the terminal load (fF) applied to primary
+// outputs when the caller does not specify one: a few minimum register
+// input capacitances.
+const DefaultOutputLoad = 12.0
+
+// ReadBench parses an ISCAS'85 ".bench" netlist. The format is:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G22)
+//	G10 = NAND(G1, G3)
+//	G22 = NOT(G10)
+//
+// Recognized operators: AND, NAND, OR, NOR, NOT, BUF/BUFF, XOR, XNOR.
+// Gates wider than the 4-input library cells are decomposed on the fly
+// into balanced trees of library cells (real ISCAS'85 circuits contain
+// up to 9-input gates), which preserves the boolean function exactly.
+// Forward references are legal: the file is read in two passes.
+func ReadBench(r io.Reader, opts BenchOptions) (*Circuit, error) {
+	load := opts.OutputLoad
+	if load <= 0 {
+		load = DefaultOutputLoad
+	}
+
+	type rawGate struct {
+		name string
+		op   string
+		args []string
+		line int
+	}
+	var (
+		inputs  []string
+		outputs []string
+		raws    []rawGate
+		name    = opts.Name
+	)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			if name == "" {
+				c := strings.TrimSpace(line[i+1:])
+				if c != "" && !strings.ContainsAny(c, " \t") {
+					name = c
+				}
+			}
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case hasPrefixFold(line, "INPUT"):
+			arg, err := parseParen(line, "INPUT")
+			if err != nil {
+				return nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+			}
+			inputs = append(inputs, arg)
+		case hasPrefixFold(line, "OUTPUT"):
+			arg, err := parseParen(line, "OUTPUT")
+			if err != nil {
+				return nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("bench line %d: expected assignment, got %q", lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			op, args, err := parseCall(rhs)
+			if err != nil {
+				return nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+			}
+			raws = append(raws, rawGate{name: lhs, op: op, args: args, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: read: %v", err)
+	}
+
+	c := New(name)
+	for _, in := range inputs {
+		if _, err := c.AddInput(in); err != nil {
+			return nil, err
+		}
+	}
+
+	// Two-pass construction to allow forward references: first register
+	// every gate output name, then wire fanin.
+	pending := make(map[string]rawGate, len(raws))
+	for _, rg := range raws {
+		if _, dup := pending[rg.name]; dup {
+			return nil, fmt.Errorf("bench line %d: duplicate gate %q", rg.line, rg.name)
+		}
+		pending[rg.name] = rg
+	}
+	defined := make(map[string]bool, len(inputs)+len(raws))
+	for _, in := range inputs {
+		defined[in] = true
+	}
+
+	// Emit gates in dependency order with an explicit stack (the files
+	// are usually already ordered; this tolerates any order).
+	var emit func(name string, trail []string) error
+	emit = func(gname string, trail []string) error {
+		if defined[gname] {
+			return nil
+		}
+		rg, ok := pending[gname]
+		if !ok {
+			return fmt.Errorf("bench: undefined net %q referenced", gname)
+		}
+		for _, t := range trail {
+			if t == gname {
+				return fmt.Errorf("bench: combinational cycle through %q", gname)
+			}
+		}
+		trail = append(trail, gname)
+		for _, a := range rg.args {
+			if err := emit(a, trail); err != nil {
+				return err
+			}
+		}
+		if err := addBenchGate(c, rg.name, rg.op, rg.args); err != nil {
+			return fmt.Errorf("bench line %d: %v", rg.line, err)
+		}
+		defined[gname] = true
+		return nil
+	}
+	names := make([]string, 0, len(pending))
+	for n := range pending {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := emit(n, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, out := range outputs {
+		if _, err := c.AddOutput(out, load); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// addBenchGate adds one parsed gate, decomposing wide operators into
+// balanced trees of library cells.
+func addBenchGate(c *Circuit, name, op string, args []string) error {
+	t, err := gate.ParseType(op)
+	if err != nil {
+		return err
+	}
+	n := len(args)
+	switch t {
+	case gate.Inv, gate.Buf:
+		if n != 1 {
+			return fmt.Errorf("%s expects 1 input, got %d", op, n)
+		}
+		_, err = c.AddGate(name, t, args[0])
+		return err
+	case gate.Xor2, gate.Xnor2:
+		// XOR/XNOR chains associate left: a^b^c = (a^b)^c.
+		if n < 2 {
+			return fmt.Errorf("%s expects >=2 inputs, got %d", op, n)
+		}
+		acc := args[0]
+		for i := 1; i < n; i++ {
+			tt := gate.Xor2
+			gname := c.genName(name + "_x")
+			if i == n-1 {
+				tt = t
+				gname = name
+			}
+			if _, err := c.AddGate(gname, tt, acc, args[i]); err != nil {
+				return err
+			}
+			acc = gname
+		}
+		return nil
+	case gate.And2, gate.Or2, gate.Nand2, gate.Nor2:
+		if n < 1 {
+			return fmt.Errorf("%s expects inputs", op)
+		}
+		if n == 1 {
+			// Degenerate single-input AND/OR is a buffer; NAND/NOR an
+			// inverter.
+			tt := gate.Buf
+			if t == gate.Nand2 || t == gate.Nor2 {
+				tt = gate.Inv
+			}
+			_, err := c.AddGate(name, tt, args[0])
+			return err
+		}
+		return addWide(c, name, t, args)
+	default:
+		return fmt.Errorf("unsupported bench operator %q", op)
+	}
+}
+
+// addWide realizes an n-input AND/OR/NAND/NOR using library cells of
+// fan-in ≤ 4, decomposing as a balanced tree. The inverting forms apply
+// the inversion only at the root.
+func addWide(c *Circuit, name string, t gate.Type, args []string) error {
+	inverting := t == gate.Nand2 || t == gate.Nor2
+	var baseFamily gate.Type // non-inverting reduction family
+	switch t {
+	case gate.And2, gate.Nand2:
+		baseFamily = gate.And2
+	case gate.Or2, gate.Nor2:
+		baseFamily = gate.Or2
+	default:
+		return fmt.Errorf("addWide: bad family %v", t)
+	}
+
+	var build func(nets []string, root bool) (string, error)
+	build = func(nets []string, root bool) (string, error) {
+		n := len(nets)
+		if n == 1 {
+			if root {
+				// Single net at root of inverting op: plain inverter.
+				if inverting {
+					_, err := c.AddGate(name, gate.Inv, nets[0])
+					return name, err
+				}
+				_, err := c.AddGate(name, gate.Buf, nets[0])
+				return name, err
+			}
+			return nets[0], nil
+		}
+		if n <= 4 {
+			family := baseFamily
+			gname := c.genName(name + "_t")
+			if root {
+				gname = name
+				if inverting {
+					// NAND family root for AND reduction, NOR for OR.
+					if baseFamily == gate.And2 {
+						family = gate.Nand2
+					} else {
+						family = gate.Nor2
+					}
+				}
+			}
+			tt, ok := gate.VariantWithFanIn(family, n)
+			if !ok {
+				return "", fmt.Errorf("no %v variant with %d inputs", family, n)
+			}
+			_, err := c.AddGate(gname, tt, nets...)
+			return gname, err
+		}
+		// Split into up to 4 balanced groups.
+		groups := 4
+		if n <= 8 {
+			groups = (n + 2) / 3 // keep subtrees ≥ 2 wide where possible
+			if groups < 2 {
+				groups = 2
+			}
+		}
+		per := (n + groups - 1) / groups
+		var tops []string
+		for i := 0; i < n; i += per {
+			j := i + per
+			if j > n {
+				j = n
+			}
+			top, err := build(nets[i:j], false)
+			if err != nil {
+				return "", err
+			}
+			tops = append(tops, top)
+		}
+		return build(tops, root)
+	}
+	_, err := build(args, true)
+	return err
+}
+
+// WriteBench serializes the circuit in ISCAS .bench format. Output
+// pseudo-nodes are emitted as OUTPUT declarations of their driven net.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n",
+		len(c.Inputs), len(c.Outputs), len(c.Gates()))
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", in.Name)
+	}
+	for _, out := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", out.Fanin[0].Name)
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, n := range order {
+		if !n.IsLogic() {
+			continue
+		}
+		op, err := benchOp(n.Type)
+		if err != nil {
+			return fmt.Errorf("bench write %s: %v", n.Name, err)
+		}
+		names := make([]string, len(n.Fanin))
+		for i, f := range n.Fanin {
+			names[i] = f.Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", n.Name, op, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+func benchOp(t gate.Type) (string, error) {
+	switch t {
+	case gate.Inv:
+		return "NOT", nil
+	case gate.Buf:
+		return "BUFF", nil
+	case gate.Nand2, gate.Nand3, gate.Nand4:
+		return "NAND", nil
+	case gate.Nor2, gate.Nor3, gate.Nor4:
+		return "NOR", nil
+	case gate.And2, gate.And3, gate.And4:
+		return "AND", nil
+	case gate.Or2, gate.Or3, gate.Or4:
+		return "OR", nil
+	case gate.Xor2:
+		return "XOR", nil
+	case gate.Xnor2:
+		return "XNOR", nil
+	}
+	return "", fmt.Errorf("no bench operator for %v", t)
+}
+
+func hasPrefixFold(s, prefix string) bool {
+	if len(s) < len(prefix) {
+		return false
+	}
+	return strings.EqualFold(s[:len(prefix)], prefix)
+}
+
+// parseParen extracts X from "KEYWORD(X)".
+func parseParen(line, keyword string) (string, error) {
+	rest := strings.TrimSpace(line[len(keyword):])
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return "", fmt.Errorf("malformed %s declaration %q", keyword, line)
+	}
+	arg := strings.TrimSpace(rest[1 : len(rest)-1])
+	if arg == "" {
+		return "", fmt.Errorf("empty %s declaration %q", keyword, line)
+	}
+	return arg, nil
+}
+
+// parseCall parses "OP(a, b, c)".
+func parseCall(rhs string) (op string, args []string, err error) {
+	open := strings.IndexByte(rhs, '(')
+	if open < 0 || !strings.HasSuffix(rhs, ")") {
+		return "", nil, fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	op = strings.TrimSpace(rhs[:open])
+	inner := rhs[open+1 : len(rhs)-1]
+	for _, part := range strings.Split(inner, ",") {
+		p := strings.TrimSpace(part)
+		if p == "" {
+			return "", nil, fmt.Errorf("empty operand in %q", rhs)
+		}
+		args = append(args, p)
+	}
+	if op == "" || len(args) == 0 {
+		return "", nil, fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	return op, args, nil
+}

@@ -1,0 +1,153 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/gate"
+)
+
+// Elaborate lowers a circuit onto the primitive library (INV, BUF,
+// NAND2-4, NOR2-4), expanding composite cells:
+//
+//	AND_n  → NAND_n + INV
+//	OR_n   → NOR_n  + INV
+//	XOR2   → 4 × NAND2           (the classic four-NAND realization)
+//	XNOR2  → INV + 4 × NAND2     (XNOR(a,b) = XOR(a, ¬b))
+//
+// Net names of the original circuit are preserved, so primary outputs
+// and cross-references remain valid; expansion-internal nets get
+// generated names. The boolean function is preserved exactly (verified
+// by the logic package's equivalence tests).
+func Elaborate(c *Circuit) (*Circuit, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	d := New(c.Name)
+	for _, n := range order {
+		switch {
+		case n.Type == gate.Input:
+			if _, err := d.AddInput(n.Name); err != nil {
+				return nil, err
+			}
+		case n.Type == gate.Output:
+			if _, err := d.AddOutput(n.Fanin[0].Name, n.CIn); err != nil {
+				return nil, err
+			}
+		case gate.IsPrimitive(n.Type):
+			m, err := d.AddGate(n.Name, n.Type, faninNames(n)...)
+			if err != nil {
+				return nil, err
+			}
+			m.CIn = n.CIn
+			m.CWire = n.CWire
+		default:
+			if err := expandComposite(d, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+func faninNames(n *Node) []string {
+	names := make([]string, len(n.Fanin))
+	for i, f := range n.Fanin {
+		names[i] = f.Name
+	}
+	return names
+}
+
+func expandComposite(d *Circuit, n *Node) error {
+	in := faninNames(n)
+	cin := n.CIn
+	if cin <= 0 {
+		cin = 0
+	}
+	set := func(m *Node) {
+		m.CIn = cin
+	}
+	switch n.Type {
+	case gate.And2, gate.And3, gate.And4:
+		nandT, _ := gate.VariantWithFanIn(gate.Nand2, len(in))
+		inner := d.genName(n.Name + "_n")
+		g, err := d.AddGate(inner, nandT, in...)
+		if err != nil {
+			return err
+		}
+		set(g)
+		g2, err := d.AddGate(n.Name, gate.Inv, inner)
+		if err != nil {
+			return err
+		}
+		set(g2)
+		g2.CWire = n.CWire
+		return nil
+	case gate.Or2, gate.Or3, gate.Or4:
+		norT, _ := gate.VariantWithFanIn(gate.Nor2, len(in))
+		inner := d.genName(n.Name + "_n")
+		g, err := d.AddGate(inner, norT, in...)
+		if err != nil {
+			return err
+		}
+		set(g)
+		g2, err := d.AddGate(n.Name, gate.Inv, inner)
+		if err != nil {
+			return err
+		}
+		set(g2)
+		g2.CWire = n.CWire
+		return nil
+	case gate.Xor2:
+		return expandXor(d, n.Name, in[0], in[1], cin, n.CWire)
+	case gate.Xnor2:
+		// XNOR(a,b) = XOR(a, ¬b).
+		nb := d.genName(n.Name + "_i")
+		g, err := d.AddGate(nb, gate.Inv, in[1])
+		if err != nil {
+			return err
+		}
+		set(g)
+		return expandXor(d, n.Name, in[0], nb, cin, n.CWire)
+	}
+	return fmt.Errorf("netlist %s: cannot expand %v", d.Name, n.Type)
+}
+
+// expandXor emits the four-NAND XOR with output net name out.
+func expandXor(d *Circuit, out, a, b string, cin, cwire float64) error {
+	m := d.genName(out + "_m")
+	g1, err := d.AddGate(m, gate.Nand2, a, b)
+	if err != nil {
+		return err
+	}
+	na := d.genName(out + "_a")
+	g2, err := d.AddGate(na, gate.Nand2, a, m)
+	if err != nil {
+		return err
+	}
+	nb := d.genName(out + "_b")
+	g3, err := d.AddGate(nb, gate.Nand2, b, m)
+	if err != nil {
+		return err
+	}
+	g4, err := d.AddGate(out, gate.Nand2, na, nb)
+	if err != nil {
+		return err
+	}
+	for _, g := range []*Node{g1, g2, g3, g4} {
+		g.CIn = cin
+	}
+	g4.CWire = cwire
+	return nil
+}
+
+// IsElaborated reports whether every logic cell of the circuit is a
+// primitive library cell.
+func IsElaborated(c *Circuit) bool {
+	for _, n := range c.Nodes {
+		if n.IsLogic() && !gate.IsPrimitive(n.Type) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/gate"
+)
+
+// evalCircuit computes the outputs of a circuit by direct traversal
+// (a tiny local evaluator so the package has no dependency on logic).
+func evalCircuit(t *testing.T, c *Circuit, in map[string]bool) map[string]bool {
+	t.Helper()
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make(map[*Node]bool)
+	out := make(map[string]bool)
+	for _, n := range order {
+		switch {
+		case n.Type == gate.Input:
+			val[n] = in[n.Name]
+		case n.Type == gate.Output:
+			val[n] = val[n.Fanin[0]]
+			out[n.Name] = val[n]
+		default:
+			args := make([]bool, len(n.Fanin))
+			for i, f := range n.Fanin {
+				args[i] = val[f]
+			}
+			val[n] = gate.Eval(n.Type, args)
+		}
+	}
+	return out
+}
+
+// compositeCircuit builds one gate of the given type over fresh inputs.
+func compositeCircuit(t *testing.T, ty gate.Type) *Circuit {
+	t.Helper()
+	c := New("comp")
+	cell := gate.MustLookup(ty)
+	names := make([]string, cell.FanIn)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+		mustInput(t, c, names[i])
+	}
+	mustGate(t, c, "y", ty, names...)
+	mustOutput(t, c, "y", 8)
+	return c
+}
+
+func TestElaborateAllComposites(t *testing.T) {
+	for _, ty := range gate.Composites() {
+		t.Run(ty.String(), func(t *testing.T) {
+			c := compositeCircuit(t, ty)
+			e, err := Elaborate(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if !IsElaborated(e) {
+				t.Fatal("composite survives elaboration")
+			}
+			// Exhaustive functional equivalence.
+			n := len(c.Inputs)
+			for mask := 0; mask < 1<<uint(n); mask++ {
+				in := make(map[string]bool)
+				for i, node := range c.Inputs {
+					in[node.Name] = mask&(1<<uint(i)) != 0
+				}
+				a := evalCircuit(t, c, in)
+				b := evalCircuit(t, e, in)
+				for k, va := range a {
+					if b[k] != va {
+						t.Fatalf("mask %b: output %s differs (%v vs %v)", mask, k, va, b[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestElaborateIdempotentOnPrimitives(t *testing.T) {
+	c := buildDiamond(t)
+	e, err := Elaborate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Gates()) != len(c.Gates()) {
+		t.Fatal("primitive circuit changed size under elaboration")
+	}
+	if !IsElaborated(c) || !IsElaborated(e) {
+		t.Fatal("IsElaborated misreports")
+	}
+}
+
+func TestElaboratePreservesSizesAndNames(t *testing.T) {
+	c := compositeCircuit(t, gate.And3)
+	c.Node("y").CIn = 9
+	c.Node("y").CWire = 2.5
+	e, err := Elaborate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := e.Node("y")
+	if y == nil {
+		t.Fatal("output net renamed")
+	}
+	if y.CIn != 9 {
+		t.Fatalf("size not propagated: %g", y.CIn)
+	}
+	if y.CWire != 2.5 {
+		t.Fatalf("wire cap not propagated: %g", y.CWire)
+	}
+	// AND3 → NAND3 + INV.
+	st := e.Stats()
+	if st.ByType[gate.Nand3] != 1 || st.ByType[gate.Inv] != 1 {
+		t.Fatalf("AND3 expansion wrong: %v", st.ByType)
+	}
+}
+
+func TestElaborateXorShape(t *testing.T) {
+	c := compositeCircuit(t, gate.Xor2)
+	e, err := Elaborate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().ByType[gate.Nand2]; got != 4 {
+		t.Fatalf("XOR2 must expand to 4 NAND2, got %d", got)
+	}
+}
+
+func TestElaborateXnorShape(t *testing.T) {
+	c := compositeCircuit(t, gate.Xnor2)
+	e, err := Elaborate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.ByType[gate.Nand2] != 4 || st.ByType[gate.Inv] != 1 {
+		t.Fatalf("XNOR2 expansion wrong: %v", st.ByType)
+	}
+}
+
+func TestElaborateKeepsOutputsObservable(t *testing.T) {
+	c := compositeCircuit(t, gate.Or4)
+	e, err := Elaborate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Outputs) != 1 || e.Outputs[0].Fanin[0].Name != "y" {
+		t.Fatal("primary output lost")
+	}
+	if e.Outputs[0].CIn != 8 {
+		t.Fatalf("terminal load lost: %g", e.Outputs[0].CIn)
+	}
+}

@@ -1,0 +1,276 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/gate"
+)
+
+// fanChain builds: a → g1(INV) → {g2(INV), g3(INV), out}.
+func fanChain(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("fan")
+	mustInput(t, c, "a")
+	mustGate(t, c, "g1", gate.Inv, "a")
+	mustGate(t, c, "g2", gate.Inv, "g1")
+	mustGate(t, c, "g3", gate.Inv, "g1")
+	mustOutput(t, c, "g1", 8)
+	mustOutput(t, c, "g2", 8)
+	mustOutput(t, c, "g3", 8)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestInsertCellAllSinks(t *testing.T) {
+	c := fanChain(t)
+	g1 := c.Node("g1")
+	sinks := append([]*Node(nil), g1.Fanout...)
+	buf, err := c.InsertCell(g1, gate.Inv, sinks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("after insert: %v", err)
+	}
+	if len(g1.Fanout) != 1 || g1.Fanout[0] != buf {
+		t.Fatal("driver must now feed only the inserted cell")
+	}
+	if len(buf.Fanout) != len(sinks) {
+		t.Fatalf("inserted cell feeds %d of %d sinks", len(buf.Fanout), len(sinks))
+	}
+	if buf.CIn != 3 {
+		t.Fatalf("inserted cell CIn = %g", buf.CIn)
+	}
+}
+
+func TestInsertCellPartialSinks(t *testing.T) {
+	c := fanChain(t)
+	g1, g2 := c.Node("g1"), c.Node("g2")
+	buf, err := c.InsertCell(g1, gate.Inv, []*Node{g2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// g3 and the PO keep their direct connection.
+	if len(g1.Fanout) != 3 { // g3, PO, buf
+		t.Fatalf("driver fanout = %d, want 3", len(g1.Fanout))
+	}
+	if g2.Fanin[0] != buf {
+		t.Fatal("targeted sink not rewired")
+	}
+}
+
+func TestInsertCellAliasedFanoutSlice(t *testing.T) {
+	// Passing driver.Fanout itself must not corrupt the graph (it is
+	// mutated during insertion).
+	c := fanChain(t)
+	g1 := c.Node("g1")
+	if _, err := c.InsertCell(g1, gate.Inv, g1.Fanout, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("aliased insertion corrupted the circuit: %v", err)
+	}
+}
+
+func TestInsertCellMultiPinSink(t *testing.T) {
+	c := New("t")
+	mustInput(t, c, "a")
+	g1 := mustGate(t, c, "g1", gate.Inv, "a")
+	g2 := mustGate(t, c, "g2", gate.Nand2, "g1", "g1")
+	mustOutput(t, c, "g2", 8)
+	if _, err := c.InsertCell(g1, gate.Inv, []*Node{g2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("multi-pin insertion: %v", err)
+	}
+	// Both pins must have moved.
+	for _, f := range g2.Fanin {
+		if f == g1 {
+			t.Fatal("a pin still points at the old driver")
+		}
+	}
+}
+
+func TestInsertCellErrors(t *testing.T) {
+	c := fanChain(t)
+	g1, g2 := c.Node("g1"), c.Node("g2")
+	if _, err := c.InsertCell(g1, gate.Nand2, []*Node{g2}, 2); err == nil {
+		t.Fatal("multi-input cell accepted as buffer")
+	}
+	if _, err := c.InsertCell(g1, gate.Inv, nil, 2); err == nil {
+		t.Fatal("empty sink list accepted")
+	}
+	if _, err := c.InsertCell(g2, gate.Inv, []*Node{g1}, 2); err == nil {
+		t.Fatal("non-sink accepted")
+	}
+}
+
+func TestInsertBufferPairPreservesLogicShape(t *testing.T) {
+	c := fanChain(t)
+	g1 := c.Node("g1")
+	first, second, err := c.InsertBufferPair(g1, g1.Fanout, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if first.Fanin[0] != g1 || second.Fanin[0] != first {
+		t.Fatal("pair not chained")
+	}
+	if first.CIn != 2 || second.CIn != 4 {
+		t.Fatal("pair sizes wrong")
+	}
+	// Two inversions: downstream sees the original polarity.
+	if first.Type != gate.Inv || second.Type != gate.Inv {
+		t.Fatal("pair must be inverters")
+	}
+}
+
+func TestReplaceType(t *testing.T) {
+	c := New("t")
+	mustInput(t, c, "a")
+	mustInput(t, c, "b")
+	g := mustGate(t, c, "g", gate.Nor2, "a", "b")
+	mustOutput(t, c, "g", 8)
+	if err := c.ReplaceType(g, gate.Nand2); err != nil {
+		t.Fatal(err)
+	}
+	if g.Type != gate.Nand2 {
+		t.Fatal("type not replaced")
+	}
+	if err := c.ReplaceType(g, gate.Nand3); err == nil {
+		t.Fatal("fan-in mismatch accepted")
+	}
+	if err := c.ReplaceType(c.Outputs[0], gate.Inv); err == nil {
+		t.Fatal("retyping a pseudo-node accepted")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpliceInput(t *testing.T) {
+	c := New("t")
+	mustInput(t, c, "a")
+	mustInput(t, c, "b")
+	g := mustGate(t, c, "g", gate.Nand2, "a", "b")
+	mustOutput(t, c, "g", 8)
+	inv, err := c.SpliceInput(g, 0, gate.Inv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Fanin[0] != inv || inv.Fanin[0].Name != "a" {
+		t.Fatal("splice wiring wrong")
+	}
+	if _, err := c.SpliceInput(g, 5, gate.Inv, 2); err == nil {
+		t.Fatal("bad pin accepted")
+	}
+	if _, err := c.SpliceInput(g, 1, gate.Nor2, 2); err == nil {
+		t.Fatal("multi-input splice accepted")
+	}
+}
+
+func TestSpliceInputMultiPinDriver(t *testing.T) {
+	c := New("t")
+	mustInput(t, c, "a")
+	g1 := mustGate(t, c, "g1", gate.Inv, "a")
+	g2 := mustGate(t, c, "g2", gate.Nand2, "g1", "g1")
+	mustOutput(t, c, "g2", 8)
+	if _, err := c.SpliceInput(g2, 0, gate.Inv, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("multi-pin splice: %v", err)
+	}
+	_ = g1
+}
+
+func TestBypassInverter(t *testing.T) {
+	c := New("t")
+	mustInput(t, c, "a")
+	inv := mustGate(t, c, "inv", gate.Inv, "a")
+	g := mustGate(t, c, "g", gate.Nand2, "inv", "a")
+	mustOutput(t, c, "g", 8)
+	removed, err := c.BypassInverter(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !removed {
+		t.Fatal("dead inverter not removed")
+	}
+	if c.Node("inv") != nil {
+		t.Fatal("inverter still registered")
+	}
+	if g.Fanin[0].Name != "a" {
+		t.Fatal("pin not rewired to source")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = inv
+}
+
+func TestBypassInverterKeepsSharedInverter(t *testing.T) {
+	c := New("t")
+	mustInput(t, c, "a")
+	mustGate(t, c, "inv", gate.Inv, "a")
+	g1 := mustGate(t, c, "g1", gate.Nand2, "inv", "a")
+	mustGate(t, c, "g2", gate.Inv, "inv")
+	mustOutput(t, c, "g1", 8)
+	mustOutput(t, c, "g2", 8)
+	removed, err := c.BypassInverter(g1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed {
+		t.Fatal("shared inverter must survive")
+	}
+	if c.Node("inv") == nil {
+		t.Fatal("shared inverter vanished")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBypassInverterErrors(t *testing.T) {
+	c := New("t")
+	mustInput(t, c, "a")
+	g := mustGate(t, c, "g", gate.Inv, "a")
+	mustOutput(t, c, "g", 8)
+	if _, err := c.BypassInverter(g, 3); err == nil {
+		t.Fatal("bad pin accepted")
+	}
+	if _, err := c.BypassInverter(g, 0); err == nil {
+		t.Fatal("non-inverter driver accepted")
+	}
+}
+
+func TestRemoveIfDead(t *testing.T) {
+	c := fanChain(t)
+	g2 := c.Node("g2")
+	// g2 drives a PO: not dead.
+	if c.RemoveIfDead(g2) {
+		t.Fatal("live node removed")
+	}
+	// Detach its PO and retry.
+	po := g2.Fanout[0]
+	po.Fanin = nil
+	g2.Fanout = nil
+	if !c.RemoveIfDead(g2) {
+		t.Fatal("dead node kept")
+	}
+	if c.Node("g2") != nil {
+		t.Fatal("dead node still registered")
+	}
+}

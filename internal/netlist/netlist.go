@@ -1,0 +1,399 @@
+// Package netlist represents combinational circuits as directed acyclic
+// graphs of library cells, with the sizing state (per-gate input
+// capacitance) that the POPS optimizers manipulate.
+//
+// The package also provides the ISCAS'85 ".bench" reader/writer
+// (bench.go) and the structure-modification primitives of the paper —
+// buffer insertion and gate replacement — as validated graph mutations
+// (mutate.go), plus macro elaboration of composite cells into the
+// primitive INV/NAND/NOR library (elaborate.go).
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gate"
+)
+
+// Node is a vertex of the circuit DAG: a primary input, a primary
+// output observation point, or a logic cell. Each logic node drives
+// exactly one net, identified with the node itself (standard ISCAS
+// convention: gates are named by their output net).
+type Node struct {
+	ID   int
+	Name string
+	Type gate.Type
+
+	// Fanin lists the driver nodes of the cell's input pins, in pin
+	// order. Primary inputs have none; Output pseudo-nodes have one.
+	Fanin []*Node
+	// Fanout lists the cells this node's output net feeds.
+	Fanout []*Node
+
+	// CIn is the per-pin input capacitance of the cell in fF — the
+	// sizing variable of the optimization. For Output pseudo-nodes it
+	// is the fixed terminal load imposed by the environment (register
+	// input capacitance); for Input nodes it is unused.
+	CIn float64
+
+	// CWire is a fixed extra capacitance on the node's output net in
+	// fF, modelling routing parasitics.
+	CWire float64
+}
+
+// IsLogic reports whether the node is a sizable logic cell.
+func (n *Node) IsLogic() bool { return gate.IsLogic(n.Type) }
+
+// Cell returns the library personality of the node's type. It panics
+// for pseudo-nodes; callers filter with IsLogic first.
+func (n *Node) Cell() gate.Cell { return gate.MustLookup(n.Type) }
+
+// FanoutCap returns the capacitive load presented by the node's sinks:
+// the sum of their per-pin input capacitances plus the net's wire
+// capacitance. The fanout list carries one entry per sink pin (the
+// multiplicity invariant checked by Validate), so a plain sum counts
+// multi-pin sinks correctly.
+func (n *Node) FanoutCap() float64 {
+	c := n.CWire
+	for _, s := range n.Fanout {
+		c += s.CIn
+	}
+	return c
+}
+
+// String identifies the node for diagnostics.
+func (n *Node) String() string {
+	return fmt.Sprintf("%s(%s)", n.Name, n.Type)
+}
+
+// Circuit is a named combinational circuit.
+type Circuit struct {
+	Name    string
+	Nodes   []*Node // all nodes, in creation order
+	Inputs  []*Node // primary inputs, in declaration order
+	Outputs []*Node // primary output pseudo-nodes, in declaration order
+
+	byName map[string]*Node
+	nextID int
+	genSeq int // counter for generated (inserted) node names
+}
+
+// DefaultGateCIn is the per-pin input capacitance (fF) assigned to
+// newly created gates: the minimum available drive of the default
+// 0.25 µm corner (tech.CMOS025().CRef). Optimizers overwrite it; the
+// default only guarantees that freshly built circuits are analyzable.
+const DefaultGateCIn = 1.7
+
+// New returns an empty circuit.
+func New(name string) *Circuit {
+	return &Circuit{Name: name, byName: make(map[string]*Node)}
+}
+
+// Node returns the node with the given name, or nil.
+func (c *Circuit) Node(name string) *Node { return c.byName[name] }
+
+// addNode registers a node, enforcing name uniqueness.
+func (c *Circuit) addNode(name string, t gate.Type) (*Node, error) {
+	if name == "" {
+		return nil, fmt.Errorf("netlist %s: empty node name", c.Name)
+	}
+	if _, dup := c.byName[name]; dup {
+		return nil, fmt.Errorf("netlist %s: duplicate node name %q", c.Name, name)
+	}
+	n := &Node{ID: c.nextID, Name: name, Type: t}
+	c.nextID++
+	c.Nodes = append(c.Nodes, n)
+	c.byName[name] = n
+	return n, nil
+}
+
+// AddInput declares a primary input net.
+func (c *Circuit) AddInput(name string) (*Node, error) {
+	n, err := c.addNode(name, gate.Input)
+	if err != nil {
+		return nil, err
+	}
+	c.Inputs = append(c.Inputs, n)
+	return n, nil
+}
+
+// AddGate adds a logic cell named by its output net, fed by the named
+// driver nets (which must already exist).
+func (c *Circuit) AddGate(name string, t gate.Type, fanin ...string) (*Node, error) {
+	if !gate.IsLogic(t) {
+		return nil, fmt.Errorf("netlist %s: %v is not a logic cell", c.Name, t)
+	}
+	cell, err := gate.Lookup(t)
+	if err != nil {
+		return nil, err
+	}
+	if len(fanin) != cell.FanIn {
+		return nil, fmt.Errorf("netlist %s: gate %s type %v wants %d inputs, got %d",
+			c.Name, name, t, cell.FanIn, len(fanin))
+	}
+	drivers := make([]*Node, len(fanin))
+	for i, f := range fanin {
+		d := c.byName[f]
+		if d == nil {
+			return nil, fmt.Errorf("netlist %s: gate %s references undefined net %q", c.Name, name, f)
+		}
+		drivers[i] = d
+	}
+	n, err := c.addNode(name, t)
+	if err != nil {
+		return nil, err
+	}
+	n.CIn = DefaultGateCIn
+	n.Fanin = drivers
+	for _, d := range drivers {
+		d.Fanout = append(d.Fanout, n)
+	}
+	return n, nil
+}
+
+// AddOutput declares that net name is a primary output, creating an
+// observation pseudo-node carrying the terminal load.
+func (c *Circuit) AddOutput(name string, load float64) (*Node, error) {
+	d := c.byName[name]
+	if d == nil {
+		return nil, fmt.Errorf("netlist %s: output references undefined net %q", c.Name, name)
+	}
+	n, err := c.addNode(name+"$po", gate.Output)
+	if err != nil {
+		return nil, err
+	}
+	n.Fanin = []*Node{d}
+	n.CIn = load
+	d.Fanout = append(d.Fanout, n)
+	c.Outputs = append(c.Outputs, n)
+	return n, nil
+}
+
+// genName produces a fresh node name with the given prefix.
+func (c *Circuit) genName(prefix string) string {
+	for {
+		c.genSeq++
+		name := fmt.Sprintf("%s_%d", prefix, c.genSeq)
+		if _, taken := c.byName[name]; !taken {
+			return name
+		}
+	}
+}
+
+// Validate checks structural sanity: pin counts match cell fan-in, no
+// dangling references, inputs undriven, outputs observed, and the graph
+// is acyclic. Optimizers call it after every mutation in tests.
+func (c *Circuit) Validate() error {
+	for _, n := range c.Nodes {
+		switch {
+		case n.Type == gate.Input:
+			if len(n.Fanin) != 0 {
+				return fmt.Errorf("netlist %s: input %s has fanin", c.Name, n.Name)
+			}
+		case n.Type == gate.Output:
+			if len(n.Fanin) != 1 {
+				return fmt.Errorf("netlist %s: output %s must have exactly one fanin", c.Name, n.Name)
+			}
+			if len(n.Fanout) != 0 {
+				return fmt.Errorf("netlist %s: output %s has fanout", c.Name, n.Name)
+			}
+		case n.IsLogic():
+			cell := n.Cell()
+			if len(n.Fanin) != cell.FanIn {
+				return fmt.Errorf("netlist %s: gate %s (%v) has %d fanin, wants %d",
+					c.Name, n.Name, n.Type, len(n.Fanin), cell.FanIn)
+			}
+			if n.CIn < 0 {
+				return fmt.Errorf("netlist %s: gate %s has negative input capacitance", c.Name, n.Name)
+			}
+		default:
+			return fmt.Errorf("netlist %s: node %s has invalid type %v", c.Name, n.Name, n.Type)
+		}
+		// Fanin/fanout must agree with per-pin multiplicity: a sink
+		// taking a driver on k pins appears k times in its fanout.
+		pins := make(map[*Node]int)
+		for _, f := range n.Fanin {
+			if c.byName[f.Name] != f {
+				return fmt.Errorf("netlist %s: node %s fanin %s is not registered", c.Name, n.Name, f.Name)
+			}
+			pins[f]++
+		}
+		for f, k := range pins {
+			if got := countOf(f.Fanout, n); got != k {
+				return fmt.Errorf("netlist %s: %s drives %s on %d pins but has %d fanout entries",
+					c.Name, f.Name, n.Name, k, got)
+			}
+		}
+		for _, s := range n.Fanout {
+			if !contains(s.Fanin, n) {
+				return fmt.Errorf("netlist %s: fanout/fanin asymmetry between %s and %s", c.Name, n.Name, s.Name)
+			}
+		}
+	}
+	if _, err := c.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func contains(ns []*Node, n *Node) bool {
+	for _, x := range ns {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+func countOf(ns []*Node, n *Node) int {
+	k := 0
+	for _, x := range ns {
+		if x == n {
+			k++
+		}
+	}
+	return k
+}
+
+// TopoOrder returns the nodes in a deterministic topological order
+// (Kahn's algorithm with ID tie-breaking), or an error if the graph has
+// a cycle.
+func (c *Circuit) TopoOrder() ([]*Node, error) {
+	indeg := make(map[*Node]int, len(c.Nodes))
+	for _, n := range c.Nodes {
+		indeg[n] = len(n.Fanin)
+	}
+	ready := make([]*Node, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].ID < ready[j].ID })
+	order := make([]*Node, 0, len(c.Nodes))
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		next := make([]*Node, 0, len(n.Fanout))
+		for _, s := range n.Fanout {
+			indeg[s]--
+			if indeg[s] == 0 {
+				next = append(next, s)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].ID < next[j].ID })
+		ready = append(ready, next...)
+	}
+	if len(order) != len(c.Nodes) {
+		return nil, fmt.Errorf("netlist %s: cycle detected (%d of %d nodes ordered)",
+			c.Name, len(order), len(c.Nodes))
+	}
+	return order, nil
+}
+
+// Clone returns a deep copy of the circuit, preserving node names, IDs,
+// types, sizing state and connectivity. Optimizers clone before
+// speculative mutations.
+func (c *Circuit) Clone() *Circuit {
+	d := New(c.Name)
+	d.nextID = c.nextID
+	d.genSeq = c.genSeq
+	clone := make(map[*Node]*Node, len(c.Nodes))
+	for _, n := range c.Nodes {
+		m := &Node{ID: n.ID, Name: n.Name, Type: n.Type, CIn: n.CIn, CWire: n.CWire}
+		d.Nodes = append(d.Nodes, m)
+		d.byName[m.Name] = m
+		clone[n] = m
+	}
+	for _, n := range c.Nodes {
+		m := clone[n]
+		m.Fanin = make([]*Node, len(n.Fanin))
+		for i, f := range n.Fanin {
+			m.Fanin[i] = clone[f]
+		}
+		m.Fanout = make([]*Node, len(n.Fanout))
+		for i, f := range n.Fanout {
+			m.Fanout[i] = clone[f]
+		}
+	}
+	for _, n := range c.Inputs {
+		d.Inputs = append(d.Inputs, clone[n])
+	}
+	for _, n := range c.Outputs {
+		d.Outputs = append(d.Outputs, clone[n])
+	}
+	return d
+}
+
+// Gates returns the logic cells of the circuit in creation order.
+func (c *Circuit) Gates() []*Node {
+	gs := make([]*Node, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if n.IsLogic() {
+			gs = append(gs, n)
+		}
+	}
+	return gs
+}
+
+// SetUniformSize assigns the same per-pin input capacitance to every
+// logic cell (the paper's Tmax configuration uses the minimum drive).
+func (c *Circuit) SetUniformSize(cin float64) {
+	for _, n := range c.Nodes {
+		if n.IsLogic() {
+			n.CIn = cin
+		}
+	}
+}
+
+// Area returns the total transistor width ΣW of the circuit in µm given
+// a conversion of capacitance to width — the paper's cost metric.
+func (c *Circuit) Area(widthForCap func(float64) float64) float64 {
+	var sum float64
+	for _, n := range c.Nodes {
+		if !n.IsLogic() {
+			continue
+		}
+		sum += float64(n.Cell().FanIn) * widthForCap(n.CIn)
+	}
+	return sum
+}
+
+// Stats summarizes the circuit for reports.
+type Stats struct {
+	Inputs, Outputs, Gates int
+	ByType                 map[gate.Type]int
+	Depth                  int // logic levels on the longest input→output chain
+}
+
+// Stats computes circuit statistics. It assumes a valid DAG.
+func (c *Circuit) Stats() Stats {
+	st := Stats{ByType: make(map[gate.Type]int)}
+	st.Inputs = len(c.Inputs)
+	st.Outputs = len(c.Outputs)
+	order, err := c.TopoOrder()
+	if err != nil {
+		return st
+	}
+	level := make(map[*Node]int, len(c.Nodes))
+	for _, n := range order {
+		lv := 0
+		for _, f := range n.Fanin {
+			if level[f] > lv {
+				lv = level[f]
+			}
+		}
+		if n.IsLogic() {
+			lv++
+			st.Gates++
+			st.ByType[n.Type]++
+		}
+		level[n] = lv
+		if lv > st.Depth {
+			st.Depth = lv
+		}
+	}
+	return st
+}

@@ -1,0 +1,182 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gate"
+)
+
+// randomCircuit builds a valid random DAG of primitive and composite
+// cells (deterministic in seed).
+func randomCircuit(seed int64) *Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := New(fmt.Sprintf("rand%d", seed))
+	nIn := 2 + rng.Intn(5)
+	var nets []string
+	for i := 0; i < nIn; i++ {
+		name := fmt.Sprintf("i%d", i)
+		if _, err := c.AddInput(name); err != nil {
+			panic(err)
+		}
+		nets = append(nets, name)
+	}
+	pool := append(gate.Primitives(), gate.Composites()...)
+	nGates := 3 + rng.Intn(20)
+	for i := 0; i < nGates; i++ {
+		t := pool[rng.Intn(len(pool))]
+		cell := gate.MustLookup(t)
+		fanin := make([]string, cell.FanIn)
+		for j := range fanin {
+			fanin[j] = nets[rng.Intn(len(nets))]
+		}
+		name := fmt.Sprintf("g%d", i)
+		if _, err := c.AddGate(name, t, fanin...); err != nil {
+			panic(err)
+		}
+		nets = append(nets, name)
+	}
+	// Observe all dangling nets so nothing is optimized into limbo.
+	for _, name := range nets {
+		n := c.Node(name)
+		if n != nil && len(n.Fanout) == 0 && n.Type != gate.Input {
+			if _, err := c.AddOutput(name, 8); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if len(c.Outputs) == 0 {
+		if _, err := c.AddOutput(nets[len(nets)-1], 8); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+func evalAll(t *testing.T, c *Circuit, mask int) map[string]bool {
+	t.Helper()
+	in := make(map[string]bool, len(c.Inputs))
+	for i, n := range c.Inputs {
+		in[n.Name] = mask&(1<<uint(i)) != 0
+	}
+	return evalCircuit(t, c, in)
+}
+
+func TestPropertyRandomCircuitsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomCircuit(seed % 1000)
+		return c.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCloneBehavesIdentically(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		c := randomCircuit(seed)
+		d := c.Clone()
+		for mask := 0; mask < 8; mask++ {
+			a := evalAll(t, c, mask)
+			b := evalAll(t, d, mask)
+			for k, v := range a {
+				if b[k] != v {
+					t.Fatalf("seed %d mask %d: clone diverges on %s", seed, mask, k)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyBenchRoundTripPreservesLogic(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		c := randomCircuit(seed)
+		var sb strings.Builder
+		if err := WriteBench(&sb, c); err != nil {
+			t.Fatalf("seed %d: write: %v", seed, err)
+		}
+		d, err := ReadBench(strings.NewReader(sb.String()), BenchOptions{Name: c.Name})
+		if err != nil {
+			t.Fatalf("seed %d: read: %v\n%s", seed, err, sb.String())
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for mask := 0; mask < 8; mask++ {
+			a := evalAll(t, c, mask)
+			b := evalAll(t, d, mask)
+			for k, v := range a {
+				if b[k] != v {
+					t.Fatalf("seed %d mask %d: round trip diverges on %s", seed, mask, k)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyElaboratePreservesLogic(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		c := randomCircuit(seed)
+		e, err := Elaborate(c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !IsElaborated(e) {
+			t.Fatalf("seed %d: not fully elaborated", seed)
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for mask := 0; mask < 16; mask++ {
+			a := evalAll(t, c, mask)
+			b := evalAll(t, e, mask)
+			for k, v := range a {
+				if b[k] != v {
+					t.Fatalf("seed %d mask %d: elaboration diverges on %s", seed, mask, k)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyBufferPairInsertionPreservesLogic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for seed := int64(0); seed < 20; seed++ {
+		c := randomCircuit(seed)
+		gates := c.Gates()
+		if len(gates) == 0 {
+			continue
+		}
+		// Insert a pair on a random driven net.
+		var driver *Node
+		for tries := 0; tries < 10; tries++ {
+			cand := gates[rng.Intn(len(gates))]
+			if len(cand.Fanout) > 0 {
+				driver = cand
+				break
+			}
+		}
+		if driver == nil {
+			continue
+		}
+		ref := c.Clone()
+		if _, _, err := c.InsertBufferPair(driver, driver.Fanout, 2, 4); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for mask := 0; mask < 16; mask++ {
+			a := evalAll(t, ref, mask)
+			b := evalAll(t, c, mask)
+			for k, v := range a {
+				if b[k] != v {
+					t.Fatalf("seed %d mask %d: pair insertion changed %s", seed, mask, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/iscas"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+func buildChain(t *testing.T, n int) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("chain")
+	if _, err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	prev := "a"
+	for i := 0; i < n; i++ {
+		name := "g" + string(rune('0'+i))
+		if _, err := c.AddGate(name, gate.Inv, prev); err != nil {
+			t.Fatal(err)
+		}
+		prev = name
+	}
+	if _, err := c.AddOutput(prev, 10); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestActivitiesChainPropagation(t *testing.T) {
+	// In an inverter chain every net toggles exactly when the input
+	// toggles: all activities equal the input activity.
+	c := buildChain(t, 4)
+	act, err := Activities(c, Options{Vectors: 4000, Seed: 7, InputActivity: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, a := range act {
+		if math.Abs(a-0.3) > 0.05 {
+			t.Fatalf("net %s activity %g, want ≈0.3", name, a)
+		}
+	}
+}
+
+func TestActivitiesAndGateAttenuates(t *testing.T) {
+	// An AND of independent inputs toggles less often than its inputs
+	// (output is 1 only 1/4 of the time).
+	c := netlist.New("and")
+	for _, in := range []string{"a", "b"} {
+		if _, err := c.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.AddGate("n", gate.Nand2, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGate("y", gate.Inv, "n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddOutput("y", 8); err != nil {
+		t.Fatal(err)
+	}
+	act, err := Activities(c, Options{Vectors: 6000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act["y"] >= act["a"] {
+		t.Fatalf("AND output activity %g not below input %g", act["y"], act["a"])
+	}
+}
+
+func TestEstimateScalesWithSizing(t *testing.T) {
+	// Doubling every gate size increases switched capacitance and
+	// power.
+	p := tech.CMOS025()
+	c := buildChain(t, 5)
+	small, err := EstimateCircuit(c, p, Options{Vectors: 500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range c.Gates() {
+		g.CIn *= 2
+	}
+	big, err := EstimateCircuit(c, p, Options{Vectors: 500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.TotalUW <= small.TotalUW {
+		t.Fatalf("power did not grow with sizing: %g vs %g", big.TotalUW, small.TotalUW)
+	}
+	delta, err := Compare(small, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta <= 0 {
+		t.Fatalf("Compare delta %g", delta)
+	}
+}
+
+func TestEstimateScalesWithFrequency(t *testing.T) {
+	p := tech.CMOS025()
+	c := buildChain(t, 3)
+	at100, err := EstimateCircuit(c, p, Options{FrequencyMHz: 100, Vectors: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at200, err := EstimateCircuit(c, p, Options{FrequencyMHz: 200, Vectors: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(at200.TotalUW-2*at100.TotalUW) > 1e-9*at200.TotalUW {
+		t.Fatalf("power not linear in frequency: %g vs %g", at200.TotalUW, 2*at100.TotalUW)
+	}
+}
+
+func TestEstimateOnBenchmark(t *testing.T) {
+	p := tech.CMOS025()
+	spec, err := iscas.ByName("fpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := iscas.MustGenerate(spec)
+	est, err := EstimateCircuit(c, p, Options{Vectors: 400, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TotalUW <= 0 || est.MeanActivity <= 0 || est.MeanActivity > 1 {
+		t.Fatalf("degenerate estimate %+v", est)
+	}
+	if len(est.ByNet) == 0 {
+		t.Fatal("no per-net breakdown")
+	}
+	var sum float64
+	for _, v := range est.ByNet {
+		sum += v
+	}
+	if math.Abs(sum-est.TotalUW) > 1e-9*est.TotalUW {
+		t.Fatalf("per-net sum %g != total %g", sum, est.TotalUW)
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	p := tech.CMOS025()
+	c := buildChain(t, 4)
+	a, err := EstimateCircuit(c, p, Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateCircuit(c, p, Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalUW != b.TotalUW {
+		t.Fatal("same seed produced different estimates")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(nil, &Estimate{}); err == nil {
+		t.Fatal("nil operand accepted")
+	}
+	if _, err := Compare(&Estimate{}, &Estimate{}); err == nil {
+		t.Fatal("zero baseline accepted")
+	}
+}
+
+func TestEstimateRejectsBadCorner(t *testing.T) {
+	p := tech.CMOS025()
+	p.VDD = -1
+	c := buildChain(t, 2)
+	if _, err := EstimateCircuit(c, p, Options{}); err == nil {
+		t.Fatal("invalid corner accepted")
+	}
+}

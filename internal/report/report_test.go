@@ -1,0 +1,70 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableASCII(t *testing.T) {
+	tb := NewTable("Table X", "Circuit", "Tmin (ps)", "Gain")
+	tb.AddRow("c432", 2220.0, "13%")
+	tb.AddRow("c6288", 7980.4, "3%")
+	tb.AddNote("constraint %s", "Tc = 1.2 Tmin")
+	out := tb.String()
+	for _, want := range []string{"Table X", "Circuit", "c432", "2220", "c6288", "note: constraint Tc = 1.2 Tmin"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line has the header separator width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("plain", `with "quote", comma`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, `"with ""quote"", comma"`) {
+		t.Fatalf("CSV quoting broken:\n%s", got)
+	}
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Fatalf("CSV header broken:\n%s", got)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		12345.6: "12346",
+		42.25:   "42.2",
+		3.14159: "3.14",
+		0:       "0",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Fatalf("formatFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFigure(t *testing.T) {
+	f := NewFigure("Fig. 1", "sumC/CREF", "delay (ps)")
+	s := f.AddSeries("Tmin iterations")
+	s.Add(27, 1590)
+	s.Add(53, 1334)
+	out := f.String()
+	for _, want := range []string{"Fig. 1", "sumC/CREF", "series Tmin iterations", "1590"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	if len(f.Series) != 1 || len(f.Series[0].X) != 2 {
+		t.Fatal("series bookkeeping broken")
+	}
+}

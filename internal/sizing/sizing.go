@@ -1,0 +1,478 @@
+// Package sizing implements §3 of the paper: optimization with
+// structure conservation.
+//
+//   - Delay-space exploration (§3.1): the pseudo-upper bound Tmax (all
+//     gates at the minimum available drive) and the minimum achievable
+//     delay Tmin, obtained as the fixed point of the link equations
+//     (eq. 4) derived by canceling ∂T/∂C_IN(i) on the bounded path.
+//   - Constraint distribution (§3.2): the constant sensitivity method
+//     (eq. 5-6) — impose ∂T/∂C_IN(i) = a on every gate and search the
+//     scalar a ≤ 0 for the delay constraint, which by convexity sizes
+//     the path at minimum area; and the Sutherland/Mead equal-delay
+//     distribution used as the comparison baseline.
+package sizing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/delay"
+)
+
+// ErrInfeasible is returned when the delay constraint lies below the
+// minimum achievable delay of the path — the paper's trigger for
+// structure modification (§4).
+var ErrInfeasible = errors.New("sizing: delay constraint below minimum achievable delay")
+
+// Options tunes the iterative solvers. The zero value selects defaults.
+type Options struct {
+	// MaxSweeps bounds the link-equation fixed-point sweeps (default 200).
+	MaxSweeps int
+	// Tol is the relative convergence tolerance on sizes (default 1e-10).
+	Tol float64
+	// SearchIter bounds the bisection steps on the sensitivity a
+	// (default 80).
+	SearchIter int
+	// DelayTol is the relative tolerance on meeting the delay
+	// constraint (default 1e-6).
+	DelayTol float64
+	// NoPolish disables the worst-edge coordinate-descent refinement
+	// that follows the link-equation fixed point in Tmin. The fixed
+	// point minimizes the edge-averaged objective; the polish descends
+	// the (also convex) worst-launch-edge delay that experiments
+	// report. Disable to study the pure eq. (4) method.
+	NoPolish bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 140
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.SearchIter <= 0 {
+		o.SearchIter = 60
+	}
+	if o.DelayTol <= 0 {
+		o.DelayTol = 1e-6
+	}
+	return o
+}
+
+// IterationPoint records one sweep of the Tmin fixed point for Fig. 1:
+// the normalized total input capacitance and the worst path delay.
+type IterationPoint struct {
+	Sweep     int
+	SumCInRef float64 // ΣC_IN / CREF
+	Delay     float64 // worst-edge path delay (ps)
+}
+
+// Result reports a sizing run.
+type Result struct {
+	Delay      float64 // worst-edge path delay after sizing (ps)
+	MeanDelay  float64 // edge-averaged path delay (ps)
+	Area       float64 // ΣW (µm)
+	Sweeps     int     // fixed-point sweeps performed
+	A          float64 // final sensitivity coefficient (constant-sensitivity runs)
+	Iterations []IterationPoint
+}
+
+// Tmax configures the path at the pseudo-upper bound: every gate at the
+// minimum available drive (§3.1), except the bounded first stage, and
+// returns the resulting worst-edge delay.
+func Tmax(m *delay.Model, pa *delay.Path) float64 {
+	for i := 1; i < len(pa.Stages); i++ {
+		pa.Stages[i].CIn = m.Proc.CRef
+	}
+	return m.PathDelayWorst(pa)
+}
+
+// Tmin sizes the path for minimum delay by iterating the link equations
+// (eq. 4) to their fixed point and returns the achieved bound. Per the
+// paper, the iteration is seeded by a backward pass from the known
+// terminal load with C_IN(i-1) = CREF; the fixed point is independent
+// of the seed (a property test exercises this). The first stage's input
+// capacitance is fixed (bounded path) and never modified.
+func Tmin(m *delay.Model, pa *delay.Path, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if err := pa.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(pa.Stages)
+	res := &Result{}
+
+	// Backward seeding pass (§3.1): assume the upstream drive is CREF,
+	// walk from the output where the load is known.
+	b := m.BCoefficients(pa)
+	for i := n - 1; i >= 1; i-- {
+		li := pa.ExternalLoadAt(i)
+		x := math.Sqrt(b[i] / b[i-1] * m.Proc.CRef * li)
+		pa.Stages[i].CIn = m.Proc.ClampCap(x)
+	}
+	res.Iterations = append(res.Iterations, IterationPoint{
+		Sweep: 0, SumCInRef: pa.TotalCIn() / m.Proc.CRef, Delay: m.PathDelayWorst(pa),
+	})
+
+	// Gauss-Seidel sweeps of eq. (4) until the sizes stop moving.
+	for sweep := 1; sweep <= o.MaxSweeps; sweep++ {
+		b = m.BCoefficients(pa)
+		maxRel := 0.0
+		for i := 1; i < n; i++ {
+			li := pa.ExternalLoadAt(i)
+			x := math.Sqrt(b[i] / b[i-1] * pa.Stages[i-1].CIn * li)
+			x = m.Proc.ClampCap(x)
+			if old := pa.Stages[i].CIn; old > 0 {
+				if rel := math.Abs(x-old) / old; rel > maxRel {
+					maxRel = rel
+				}
+			}
+			pa.Stages[i].CIn = x
+		}
+		res.Sweeps = sweep
+		res.Iterations = append(res.Iterations, IterationPoint{
+			Sweep: sweep, SumCInRef: pa.TotalCIn() / m.Proc.CRef, Delay: m.PathDelayWorst(pa),
+		})
+		if maxRel < o.Tol {
+			break
+		}
+	}
+
+	// Worst-edge polish: the link equations minimize the edge-averaged
+	// delay; the reported metric is the worst launch edge, whose delay
+	// is also convex in the sizes (a max of convex functions), so a
+	// coordinate golden-section descent converges to its optimum.
+	if !o.NoPolish {
+		polishWorstEdge(m, pa)
+		res.Iterations = append(res.Iterations, IterationPoint{
+			Sweep:     res.Sweeps + 1,
+			SumCInRef: pa.TotalCIn() / m.Proc.CRef,
+			Delay:     m.PathDelayWorst(pa),
+		})
+	}
+	res.Delay = m.PathDelayWorst(pa)
+	res.MeanDelay = m.PathDelayMean(pa)
+	res.Area = pa.Area(m.Proc)
+	return res, nil
+}
+
+// polishWorstEdge performs cyclic coordinate descent on the worst-edge
+// path delay, one golden-section line search per interior stage.
+func polishWorstEdge(m *delay.Model, pa *delay.Path) {
+	const phi = 0.6180339887498949
+	n := len(pa.Stages)
+	cur := m.PathDelayWorst(pa)
+	for sweep := 0; sweep < 8; sweep++ {
+		improved := false
+		for i := 1; i < n; i++ {
+			// The fixed point is already near-optimal: search a
+			// bracket around the current size (re-centered by later
+			// sweeps if the optimum sits at an edge).
+			x0 := pa.Stages[i].CIn
+			lo := math.Max(m.Proc.CRef, x0/4)
+			hi := math.Min(m.Proc.CMax, x0*4)
+			at := func(x float64) float64 {
+				pa.Stages[i].CIn = x
+				return m.PathDelayWorst(pa)
+			}
+			x1 := hi - phi*(hi-lo)
+			x2 := lo + phi*(hi-lo)
+			f1, f2 := at(x1), at(x2)
+			for it := 0; it < 48 && hi-lo > 1e-9*hi; it++ {
+				if f1 < f2 {
+					hi, x2, f2 = x2, x1, f1
+					x1 = hi - phi*(hi-lo)
+					f1 = at(x1)
+				} else {
+					lo, x1, f1 = x1, x2, f2
+					x2 = lo + phi*(hi-lo)
+					f2 = at(x2)
+				}
+			}
+			best, bx := f1, x1
+			if f2 < f1 {
+				best, bx = f2, x2
+			}
+			if best < cur*(1-1e-12) {
+				pa.Stages[i].CIn = bx
+				cur = best
+				improved = true
+			} else {
+				pa.Stages[i].CIn = x0
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// AreaWeight returns the marginal area cost of a stage's input
+// capacitance: a cell with fan-in k realizes a pin capacitance on
+// every input, so ∂(ΣW)/∂C_IN = k/Cg. The minimum-area sensitivity
+// condition is therefore ∂T/∂C_IN(i) = a·k_i (the KKT stationarity of
+// area under the delay constraint); with all weights 1 the method
+// degenerates to minimizing total capacitance (≈ dynamic power), the
+// form eq. (5) prints.
+func AreaWeight(st *delay.Stage) float64 { return float64(st.Cell.FanIn) }
+
+// solveSensitivity sizes the path for a fixed sensitivity coefficient
+// a ≤ 0 by iterating eq. (6): forward recursions
+//
+//	C_IN(i) = sqrt( A_i·L_i / (A_{i-1}/C_IN(i-1) − a·k_i) )
+//
+// until convergence (L_i depends on the downstream size, so a few outer
+// sweeps are needed). Sizes are clamped to the realizable drive range.
+func solveSensitivity(m *delay.Model, pa *delay.Path, a float64, o Options) int {
+	n := len(pa.Stages)
+	sweeps := 0
+	for sweep := 1; sweep <= o.MaxSweeps; sweep++ {
+		b := m.BCoefficients(pa)
+		maxRel := 0.0
+		for i := 1; i < n; i++ {
+			li := pa.ExternalLoadAt(i)
+			den := b[i-1]/pa.Stages[i-1].CIn - a*AreaWeight(&pa.Stages[i])
+			// a ≤ 0 keeps den > 0; defensive clamp for a > 0 probes.
+			if den < 1e-12 {
+				den = 1e-12
+			}
+			x := math.Sqrt(b[i] * li / den)
+			x = m.Proc.ClampCap(x)
+			if old := pa.Stages[i].CIn; old > 0 {
+				if rel := math.Abs(x-old) / old; rel > maxRel {
+					maxRel = rel
+				}
+			}
+			pa.Stages[i].CIn = x
+		}
+		sweeps = sweep
+		if maxRel < o.Tol {
+			break
+		}
+	}
+	return sweeps
+}
+
+// AtSensitivity sizes the path with the constant sensitivity method for
+// a given coefficient a ≤ 0 and reports the resulting delay and area —
+// one point of the paper's Fig. 3 family.
+func AtSensitivity(m *delay.Model, pa *delay.Path, a float64, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if err := pa.Validate(); err != nil {
+		return nil, err
+	}
+	if a > 0 {
+		return nil, fmt.Errorf("sizing: sensitivity coefficient must be ≤ 0, got %g", a)
+	}
+	sweeps := solveSensitivity(m, pa, a, o)
+	return &Result{
+		Delay:     m.PathDelayWorst(pa),
+		MeanDelay: m.PathDelayMean(pa),
+		Area:      pa.Area(m.Proc),
+		Sweeps:    sweeps,
+		A:         a,
+	}, nil
+}
+
+// Distribute implements the paper's constraint-distribution step: size
+// the path so its worst-edge delay meets the constraint tc (ps) at
+// minimum area, by searching the sensitivity coefficient a. It returns
+// ErrInfeasible when tc < Tmin (structure modification required).
+func Distribute(m *delay.Model, pa *delay.Path, tc float64, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if err := pa.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Feasibility: a = 0 is the minimum-delay point of the family. The
+	// worst-edge polish is skipped here — the distribution step only
+	// needs the family's own minimum, and the polish would dominate
+	// the method's CPU time on long paths (Table 1 measures this step).
+	oNoPolish := opts
+	oNoPolish.NoPolish = true
+	rmin, err := Tmin(m, pa, oNoPolish)
+	if err != nil {
+		return nil, err
+	}
+	if tc < rmin.Delay*(1-o.DelayTol) {
+		// The constraint sits below the family's minimum. The
+		// worst-edge polish can still shave a little: accept tc in
+		// the window [polished Tmin, family Tmin), so Distribute
+		// agrees with the bound Tmin reports.
+		if !opts.NoPolish {
+			rp, errP := Tmin(m, pa, opts)
+			if errP != nil {
+				return nil, errP
+			}
+			if tc >= rp.Delay*(1-o.DelayTol) {
+				rp.A = 0
+				return rp, nil
+			}
+			rmin = rp
+		}
+		return rmin, fmt.Errorf("%w: Tc=%.1f ps < Tmin=%.1f ps", ErrInfeasible, tc, rmin.Delay)
+	}
+	if tc <= rmin.Delay*(1+o.DelayTol) {
+		rmin.A = 0
+		return rmin, nil
+	}
+
+	// If even the all-minimum configuration meets tc, take it: maximum
+	// area saving (the sensitivity family degenerates to the clamp).
+	snapshot := pa.Sizes()
+	tmax := Tmax(m, pa)
+	if tmax <= tc {
+		return &Result{
+			Delay:     tmax,
+			MeanDelay: m.PathDelayMean(pa),
+			Area:      pa.Area(m.Proc),
+			A:         math.Inf(-1),
+		}, nil
+	}
+	if err := pa.SetSizes(snapshot); err != nil {
+		return nil, err
+	}
+
+	// Bracket: T(a) increases as a becomes more negative. Expand aLo
+	// until T(aLo) ≥ tc.
+	aLo := -0.02
+	var lastDelay float64
+	for range [64]int{} {
+		r, err := AtSensitivity(m, pa, aLo, opts)
+		if err != nil {
+			return nil, err
+		}
+		lastDelay = r.Delay
+		if lastDelay >= tc {
+			break
+		}
+		aLo *= 4
+	}
+	if lastDelay < tc {
+		// Clamping saturated the family before reaching tc; the
+		// all-minimum case above should have caught this, but guard.
+		return AtSensitivity(m, pa, aLo, opts)
+	}
+
+	// Bisection between aLo (delay ≥ tc) and aHi = 0 (delay = Tmin < tc).
+	aHi := 0.0
+	var best *Result
+	for iter := 0; iter < o.SearchIter; iter++ {
+		mid := (aLo + aHi) / 2
+		r, err := AtSensitivity(m, pa, mid, opts)
+		if err != nil {
+			return nil, err
+		}
+		if r.Delay > tc {
+			aLo = mid
+		} else {
+			aHi = mid
+			best = r
+		}
+		if math.Abs(r.Delay-tc) <= o.DelayTol*tc {
+			best = r
+			break
+		}
+	}
+	if best == nil {
+		best = &Result{A: aHi}
+	}
+	// Re-solve at the accepted coefficient so the path state matches
+	// the returned result (the last bisection probe may have been a
+	// rejected one).
+	r, err := AtSensitivity(m, pa, best.A, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Area trim: the family is stationary for the frozen-coefficient
+	// mean model; a constrained coordinate descent on the exact
+	// worst-edge delay recovers the last few percent of area. The
+	// feasible set in each coordinate is an interval (convexity), so
+	// per-stage bisection toward the lower boundary is sound.
+	if !opts.NoPolish {
+		trimArea(m, pa, tc)
+		r.Delay = m.PathDelayWorst(pa)
+		r.MeanDelay = m.PathDelayMean(pa)
+		r.Area = pa.Area(m.Proc)
+	}
+	return r, nil
+}
+
+// trimArea shrinks each stage toward the smallest size that keeps the
+// worst-edge path delay within tc, sweeping until no stage moves.
+func trimArea(m *delay.Model, pa *delay.Path, tc float64) {
+	n := len(pa.Stages)
+	for sweep := 0; sweep < 3; sweep++ {
+		moved := false
+		for i := 1; i < n; i++ {
+			cur := pa.Stages[i].CIn
+			lo, hi := m.Proc.CRef, cur
+			if lo >= hi {
+				continue
+			}
+			pa.Stages[i].CIn = lo
+			if m.PathDelayWorst(pa) <= tc {
+				if cur != lo {
+					moved = true
+				}
+				continue // the minimum drive is feasible: keep it
+			}
+			// Bisect the feasibility boundary in [lo, hi]; 0.1%
+			// precision is plenty for an area cleanup.
+			for it := 0; it < 14 && hi-lo > 1e-3*hi; it++ {
+				mid := (lo + hi) / 2
+				pa.Stages[i].CIn = mid
+				if m.PathDelayWorst(pa) <= tc {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			pa.Stages[i].CIn = hi
+			if hi < cur*(1-1e-3) {
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// SutherlandDistribute is the baseline constraint distribution of §3.2
+// (after Sutherland's logical effort / Mead's equal-tapering rule): the
+// same delay budget tc/n is imposed on every stage, solved backward
+// from the known terminal load. It is fast but oversizes gates with
+// large logical weight — the effect Fig. 4 quantifies.
+func SutherlandDistribute(m *delay.Model, pa *delay.Path, tc float64, opts Options) (*Result, error) {
+	if err := pa.Validate(); err != nil {
+		return nil, err
+	}
+	_ = opts // the closed-form backward solve needs no iteration control
+	n := len(pa.Stages)
+	budget := tc / float64(n)
+
+	// Backward per-stage solve of budget = B_i·C_L(i)/x_i with
+	// C_L(i) = L_i + pf_i·x_i:  x_i = B_i·L_i / (budget − B_i·pf_i).
+	// A couple of outer sweeps refresh the frozen Miller factors.
+	for sweep := 0; sweep < 8; sweep++ {
+		b := m.BCoefficients(pa)
+		for i := n - 1; i >= 1; i-- {
+			li := pa.ExternalLoadAt(i)
+			den := budget - b[i]*pa.Stages[i].Cell.ParasiticFactor
+			var x float64
+			if den <= 0 {
+				x = m.Proc.CMax // stage cannot meet its budget: saturate
+			} else {
+				x = b[i] * li / den
+			}
+			pa.Stages[i].CIn = m.Proc.ClampCap(x)
+		}
+	}
+	return &Result{
+		Delay:     m.PathDelayWorst(pa),
+		MeanDelay: m.PathDelayMean(pa),
+		Area:      pa.Area(m.Proc),
+	}, nil
+}

@@ -1,0 +1,433 @@
+// Package spice is the transistor-level validation substrate of the
+// reproduction — the stand-in for the HSPICE simulations the paper uses
+// to validate its closed-form model (Fig. 2 delays, the "Simulation"
+// column of Table 2).
+//
+// It implements a small transient simulator for bounded gate chains:
+// each stage is reduced to its switching pull-up/pull-down devices
+// (alpha-power-law MOSFETs, Sakurai-Newton linear/saturation boundary,
+// series stacks folded into an effective width via the cell's logical
+// weight), nodes carry the same load capacitances the closed-form model
+// sees, and input-to-output coupling capacitors inject the Miller
+// kickback. Integration is backward-Euler per node with a safeguarded
+// Newton solve — the per-node equation is monotone, so the step is
+// unconditionally stable even at the nanofarad/milliamp extremes of
+// heavily sized gates.
+//
+// The simulator deliberately shares the load bookkeeping (COff, next
+// pin, parasitic) with the delay package but derives its currents from
+// device physics, not from eq. (1-3): comparing the two is a genuine
+// model-vs-circuit validation, which is exactly how the paper uses
+// HSPICE.
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/delay"
+	"repro/internal/gate"
+	"repro/internal/tech"
+)
+
+// Simulator runs transient analyses on one process corner.
+type Simulator struct {
+	Proc *tech.Process
+	// DT is the integration step in ps (default 0.25).
+	DT float64
+	// Window is the maximum simulated time in ps; zero derives it from
+	// a closed-form estimate of the path delay.
+	Window float64
+}
+
+// New returns a Simulator with default settings on corner p.
+func New(p *tech.Process) *Simulator {
+	return &Simulator{Proc: p, DT: 0.25}
+}
+
+// Measurement reports a transient run over a path.
+type Measurement struct {
+	// Delay is t50(last stage output) − t50(input), in ps.
+	Delay float64
+	// StageT50 holds the absolute 50% crossing time of every stage
+	// output (ps); StageTau the 20-80% transition times rescaled to
+	// full swing (÷0.6), comparable to the model's transition times.
+	StageT50 []float64
+	StageTau []float64
+	// Settled reports whether every node reached its final rail.
+	Settled bool
+}
+
+// device is an alpha-power-law MOSFET with stack-degraded width.
+type device struct {
+	w     float64 // effective width, µm
+	vt    float64 // threshold, V
+	kp    float64 // transconductance factor, µA/µm at 1 V overdrive
+	alpha float64
+	vdsr  float64 // Vdsat ratio
+}
+
+// current returns the drain current (µA) and its derivative with
+// respect to vds (µA/V) for gate overdrive vgs and drain-source vds
+// (both ≥ 0 in the device's own frame).
+func (d device) current(vgs, vds float64) (i, di float64) {
+	ov := vgs - d.vt
+	if ov <= 0 || vds <= 0 {
+		return 0, 0
+	}
+	isat := d.kp * d.w * math.Pow(ov, d.alpha)
+	vdsat := d.vdsr * ov
+	if vds >= vdsat {
+		// Mild channel-length modulation keeps the Newton Jacobian
+		// strictly positive.
+		const lambda = 0.04 // 1/V
+		return isat * (1 + lambda*(vds-vdsat)), isat * lambda
+	}
+	u := vds / vdsat
+	return isat * u * (2 - u), isat * (2 - 2*u) / vdsat
+}
+
+// simStage is one effective inverter of the expanded chain.
+type simStage struct {
+	nmos, pmos device
+	cm         float64 // Miller coupling capacitance, fF
+	cnode      float64 // grounded capacitance on the output node, fF
+	in, out    int     // node indices
+}
+
+// expand reduces the path to a chain of effective inverters. BUF cells
+// become two cascaded inverters with an internally tapered second
+// stage, so the chain is strictly inverting per stage.
+func (s *Simulator) expand(pa *delay.Path) ([]simStage, error) {
+	p := s.Proc
+	var stages []simStage
+	node := 0 // node 0 is the path input
+
+	addInverter := func(cin float64, cell gate.Cell, extLoad float64) {
+		wPin := p.WidthForCap(cin)
+		wn := p.WN(wPin) / cell.DWHL
+		wp := p.WP(wPin) / cell.DWLH
+		cm := 0.25 * cin // edge-averaged Miller ratio (see delay pkg)
+		st := simStage{
+			nmos:  device{w: wn, vt: p.VTN * p.VDD, kp: p.KPN, alpha: p.Alpha, vdsr: p.VDSatRatio},
+			pmos:  device{w: wp, vt: p.VTP * p.VDD, kp: p.KPN / p.R, alpha: p.Alpha, vdsr: p.VDSatRatio},
+			cm:    cm,
+			cnode: extLoad + cell.Parasitic(cin),
+			in:    node,
+			out:   node + 1,
+		}
+		stages = append(stages, st)
+		node++
+	}
+
+	for i := range pa.Stages {
+		st := &pa.Stages[i]
+		ext := st.COff
+		if i+1 < len(pa.Stages) {
+			ext += pa.Stages[i+1].CIn
+		}
+		switch {
+		case st.Cell.Type == gate.Buf:
+			// Two inverters: the first sees the pin capacitance, the
+			// second is tapered 2×; the internal node carries the
+			// second stage's pin plus a share of the BUF parasitic.
+			inv := gate.MustLookup(gate.Inv)
+			second := 2 * st.CIn
+			addInverter(st.CIn, inv, second+0.5*st.Cell.Parasitic(st.CIn))
+			addInverter(second, inv, ext+0.5*st.Cell.Parasitic(st.CIn))
+		case st.Cell.Invert:
+			addInverter(st.CIn, st.Cell, ext)
+		default:
+			return nil, fmt.Errorf("spice: cannot expand non-inverting cell %v", st.Cell.Type)
+		}
+	}
+	return stages, nil
+}
+
+// SimulatePath runs a transient analysis of the path for the given
+// launch edge (risingInput = the path entry net rises at t = 0 with
+// transition time pa.TauIn).
+func (s *Simulator) SimulatePath(pa *delay.Path, risingInput bool) (*Measurement, error) {
+	if err := pa.Validate(); err != nil {
+		return nil, err
+	}
+	p := s.Proc
+	stages, err := s.expand(pa)
+	if err != nil {
+		return nil, err
+	}
+	n := len(stages)
+	vdd := p.VDD
+
+	dt := s.DT
+	if dt <= 0 {
+		dt = 0.25
+	}
+	window := s.Window
+	if window <= 0 {
+		est := delay.NewModel(p).PathDelayWorst(pa)
+		window = 5*est + 10*pa.TauIn + 500
+	}
+
+	// Node capacitances: grounded part + both Miller attachments.
+	cnodes := make([]float64, n+1)
+	cnodes[0] = 1 // the input is forced; value irrelevant
+	for i, st := range stages {
+		cnodes[st.out] += st.cnode + st.cm
+		if i+1 < n {
+			cnodes[st.out] += stages[i+1].cm
+		}
+	}
+
+	// DC initial state by logic propagation.
+	v := make([]float64, n+1)
+	if risingInput {
+		v[0] = 0
+	} else {
+		v[0] = vdd
+	}
+	for _, st := range stages {
+		if v[st.in] > vdd/2 {
+			v[st.out] = 0
+		} else {
+			v[st.out] = vdd
+		}
+	}
+	final := make([]float64, n+1)
+	final[0] = vdd - v[0]
+	for _, st := range stages {
+		final[st.out] = vdd - v[st.out]
+	}
+
+	dvdt := make([]float64, n+1)
+	meas := newCrossings(n, v, final, vdd)
+
+	tEnd := window
+	rampSlope := vdd / pa.TauIn
+	if !risingInput {
+		rampSlope = -rampSlope
+	}
+
+	for t := 0.0; t < tEnd; t += dt {
+		// Input ramp.
+		tNext := t + dt
+		vin := v[0]
+		if tNext < pa.TauIn {
+			vin = v[0] + rampSlope*dt
+		} else {
+			vin = final[0]
+		}
+		dvdt[0] = (vin - v[0]) / dt
+		v[0] = vin
+		meas.record(0, tNext, v[0])
+
+		// Backward-Euler per node, chain order. The Miller source from
+		// the driver uses this step's derivative (already computed);
+		// the kickback from the follower uses the previous step's.
+		for i, st := range stages {
+			var fwdCm float64
+			var fwdDv float64
+			if i+1 < n {
+				fwdCm = stages[i+1].cm
+				fwdDv = dvdt[st.out+1]
+			}
+			// iSrc is in natural units fF·V/ps ≡ mA; device currents
+			// are in µA, so they are scaled by 1/1000 below.
+			iSrc := st.cm*dvdt[st.in] + fwdCm*fwdDv
+			vg := v[st.in]
+			vOld := v[st.out]
+			c := cnodes[st.out]
+
+			// Solve v' − vOld − dt/c·(Ip(v') − In(v') + iSrc) = 0.
+			const mAperuA = 1e-3
+			f := func(x float64) (float64, float64) {
+				ip, dip := stages[i].pmos.current(vdd-vg, vdd-x)
+				in, din := stages[i].nmos.current(vg, x)
+				val := x - vOld - dt/c*((ip-in)*mAperuA+iSrc)
+				der := 1 - dt/c*(-dip-din)*mAperuA
+				return val, der
+			}
+			x := vOld
+			lo, hi := -0.5*vdd, 1.5*vdd
+			for it := 0; it < 40; it++ {
+				val, der := f(x)
+				if math.Abs(val) < 1e-9 {
+					break
+				}
+				if val > 0 {
+					hi = x
+				} else {
+					lo = x
+				}
+				step := val / der
+				nx := x - step
+				if nx <= lo || nx >= hi || der <= 0 || math.IsNaN(nx) {
+					nx = (lo + hi) / 2
+				}
+				if math.Abs(nx-x) < 1e-10 {
+					x = nx
+					break
+				}
+				x = nx
+			}
+			if x < -0.2*vdd {
+				x = 0
+			}
+			if x > 1.2*vdd {
+				x = vdd
+			}
+			dvdt[st.out] = (x - vOld) / dt
+			v[st.out] = x
+			meas.record(st.out, tNext, x)
+		}
+
+		if meas.done() && settled(v, final, vdd) {
+			break
+		}
+	}
+
+	return meas.finish(stages, pa, vdd, v, final)
+}
+
+// settled reports whether all nodes are within 2% of their final rail.
+func settled(v, final []float64, vdd float64) bool {
+	for i := range v {
+		if math.Abs(v[i]-final[i]) > 0.02*vdd {
+			return false
+		}
+	}
+	return true
+}
+
+// crossings tracks threshold crossings per node.
+type crossings struct {
+	vdd           float64
+	prevT         []float64
+	prevV         []float64
+	t20, t50, t80 []float64
+	rising        []bool
+}
+
+func newCrossings(nStages int, v, final []float64, vdd float64) *crossings {
+	n := len(v)
+	c := &crossings{
+		vdd:    vdd,
+		prevT:  make([]float64, n),
+		prevV:  append([]float64(nil), v...),
+		t20:    nan(n),
+		t50:    nan(n),
+		t80:    nan(n),
+		rising: make([]bool, n),
+	}
+	for i := range v {
+		c.rising[i] = final[i] > v[i]
+	}
+	return c
+}
+
+func nan(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.NaN()
+	}
+	return s
+}
+
+// record notes threshold crossings between the previous and current
+// sample of node i, keeping the last crossing in the signal direction.
+func (c *crossings) record(i int, t, v float64) {
+	pv, pt := c.prevV[i], c.prevT[i]
+	for _, th := range []struct {
+		frac float64
+		dst  []float64
+	}{{0.2, c.t20}, {0.5, c.t50}, {0.8, c.t80}} {
+		level := th.frac * c.vdd
+		if !c.rising[i] {
+			level = (1 - th.frac) * c.vdd
+		}
+		crossedUp := pv < level && v >= level && c.rising[i]
+		crossedDn := pv > level && v <= level && !c.rising[i]
+		if crossedUp || crossedDn {
+			// Linear interpolation.
+			frac := (level - pv) / (v - pv)
+			th.dst[i] = pt + frac*(t-pt)
+		}
+	}
+	c.prevV[i], c.prevT[i] = v, t
+}
+
+func (c *crossings) done() bool {
+	for i := range c.t50 {
+		if math.IsNaN(c.t50[i]) || math.IsNaN(c.t80[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *crossings) finish(stages []simStage, pa *delay.Path, vdd float64, v, final []float64) (*Measurement, error) {
+	last := stages[len(stages)-1].out
+	if math.IsNaN(c.t50[last]) || math.IsNaN(c.t50[0]) {
+		return nil, fmt.Errorf("spice: path %q did not switch within the window", pa.Name)
+	}
+	m := &Measurement{
+		Delay:   c.t50[last] - c.t50[0],
+		Settled: settled(v, final, vdd),
+	}
+	// Report per original path stage: map expanded nodes back (BUF
+	// contributes its second inverter's output).
+	node := 0
+	for i := range pa.Stages {
+		if pa.Stages[i].Cell.Type == gate.Buf {
+			node += 2
+		} else {
+			node++
+		}
+		m.StageT50 = append(m.StageT50, c.t50[node])
+		tau := math.Abs(c.t80[node]-c.t20[node]) / 0.6
+		m.StageTau = append(m.StageTau, tau)
+	}
+	return m, nil
+}
+
+// PathDelayMean returns the average of the rising- and falling-launch
+// transient delays — the simulated counterpart of the model's
+// edge-averaged path delay.
+func (s *Simulator) PathDelayMean(pa *delay.Path) (float64, error) {
+	up, err := s.SimulatePath(pa, true)
+	if err != nil {
+		return 0, err
+	}
+	dn, err := s.SimulatePath(pa, false)
+	if err != nil {
+		return 0, err
+	}
+	return (up.Delay + dn.Delay) / 2, nil
+}
+
+// PathDelayWorst returns the worse of the two launch-edge transient
+// delays.
+func (s *Simulator) PathDelayWorst(pa *delay.Path) (float64, error) {
+	up, err := s.SimulatePath(pa, true)
+	if err != nil {
+		return 0, err
+	}
+	dn, err := s.SimulatePath(pa, false)
+	if err != nil {
+		return 0, err
+	}
+	return math.Max(up.Delay, dn.Delay), nil
+}
+
+// MeanDelayFn adapts the simulator to the buffering package's DelayFn
+// signature; simulation failures surface as +Inf so optimizers discard
+// the configuration rather than crash.
+func (s *Simulator) MeanDelayFn() func(pa *delay.Path) float64 {
+	return func(pa *delay.Path) float64 {
+		d, err := s.PathDelayMean(pa)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return d
+	}
+}

@@ -1,0 +1,233 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/gate"
+	"repro/internal/tech"
+)
+
+func sim() *Simulator { return New(tech.CMOS025()) }
+
+func chain(p *tech.Process, types []gate.Type, cin, terminal float64) *delay.Path {
+	pa := &delay.Path{Name: "chain", TauIn: delay.DefaultTauIn(p)}
+	for _, ty := range types {
+		pa.Stages = append(pa.Stages, delay.Stage{Cell: gate.MustLookup(ty), CIn: cin, COff: 0})
+	}
+	for i := 0; i < len(types)-1; i++ {
+		pa.Stages[i].COff = cin // extra fan-out per stage
+	}
+	pa.Stages[len(types)-1].COff = terminal
+	return pa
+}
+
+func TestDeviceMonotone(t *testing.T) {
+	p := tech.CMOS025()
+	d := device{w: 1, vt: p.VTN * p.VDD, kp: p.KPN, alpha: p.Alpha, vdsr: p.VDSatRatio}
+	// Current increases with gate overdrive.
+	i1, _ := d.current(1.0, 2.0)
+	i2, _ := d.current(2.0, 2.0)
+	if i2 <= i1 {
+		t.Fatal("current must increase with VGS")
+	}
+	// Current is non-decreasing in VDS with positive derivative.
+	prev := -1.0
+	for vds := 0.05; vds <= 2.5; vds += 0.05 {
+		i, di := d.current(2.0, vds)
+		if i < prev {
+			t.Fatalf("current decreased at vds=%g", vds)
+		}
+		if di < 0 {
+			t.Fatalf("negative conductance at vds=%g", vds)
+		}
+		prev = i
+	}
+	// Cut off below threshold.
+	if i, _ := d.current(0.3, 1.0); i != 0 {
+		t.Fatal("subthreshold current must be zero in this model")
+	}
+	if i, _ := d.current(2.0, -0.1); i != 0 {
+		t.Fatal("negative VDS must clamp to zero")
+	}
+}
+
+func TestSimulateInverterBasic(t *testing.T) {
+	s := sim()
+	pa := chain(s.Proc, []gate.Type{gate.Inv}, 4*s.Proc.CRef, 20)
+	for _, rising := range []bool{true, false} {
+		meas, err := s.SimulatePath(pa, rising)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meas.Delay <= 0 {
+			t.Fatalf("non-positive delay %g", meas.Delay)
+		}
+		if !meas.Settled {
+			t.Fatal("inverter did not settle")
+		}
+		if len(meas.StageT50) != 1 || math.IsNaN(meas.StageT50[0]) {
+			t.Fatal("missing stage measurement")
+		}
+		if meas.StageTau[0] <= 0 {
+			t.Fatal("non-positive transition measurement")
+		}
+	}
+}
+
+func TestSimulateChainMonotoneCrossings(t *testing.T) {
+	s := sim()
+	types := []gate.Type{gate.Inv, gate.Nand2, gate.Nor2, gate.Inv, gate.Nand3}
+	pa := chain(s.Proc, types, 4*s.Proc.CRef, 25)
+	meas, err := s.SimulatePath(pa, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i, t50 := range meas.StageT50 {
+		if t50 <= prev {
+			t.Fatalf("stage %d crossing %g not after %g", i, t50, prev)
+		}
+		prev = t50
+	}
+}
+
+func TestSimMatchesModelOnChains(t *testing.T) {
+	// The headline validation: the closed-form model and the
+	// transistor-level simulation agree within a tight band after
+	// calibration (the paper's Fig. 2 methodology).
+	s := sim()
+	m := delay.NewModel(s.Proc)
+	cases := []struct {
+		name  string
+		types []gate.Type
+		cin   float64
+	}{
+		{"inv3", []gate.Type{gate.Inv, gate.Inv, gate.Inv}, 4 * s.Proc.CRef},
+		{"mixed", []gate.Type{gate.Inv, gate.Nand2, gate.Nor2, gate.Inv}, 6 * s.Proc.CRef},
+		{"norheavy", []gate.Type{gate.Nor3, gate.Inv, gate.Nor2, gate.Inv}, 5 * s.Proc.CRef},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pa := chain(s.Proc, tc.types, tc.cin, 30)
+			want := m.PathDelayMean(pa)
+			got, err := s.PathDelayMean(pa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := math.Abs(got-want) / want; rel > 0.25 {
+				t.Fatalf("model %g ps vs sim %g ps: %.0f%% apart", want, got, rel*100)
+			}
+		})
+	}
+}
+
+func TestSimDelayIncreasesWithLoad(t *testing.T) {
+	s := sim()
+	light := chain(s.Proc, []gate.Type{gate.Inv, gate.Inv}, 4*s.Proc.CRef, 10)
+	heavy := chain(s.Proc, []gate.Type{gate.Inv, gate.Inv}, 4*s.Proc.CRef, 80)
+	dl, err := s.PathDelayMean(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh, err := s.PathDelayMean(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dh <= dl {
+		t.Fatalf("heavier load must be slower: %g vs %g", dh, dl)
+	}
+}
+
+func TestSimDelayDecreasesWithDrive(t *testing.T) {
+	s := sim()
+	weak := chain(s.Proc, []gate.Type{gate.Inv}, 2*s.Proc.CRef, 60)
+	strong := chain(s.Proc, []gate.Type{gate.Inv}, 12*s.Proc.CRef, 60)
+	dw, err := s.PathDelayMean(weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.PathDelayMean(strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds >= dw {
+		t.Fatalf("stronger drive must be faster: %g vs %g", ds, dw)
+	}
+}
+
+func TestSimBufExpansion(t *testing.T) {
+	s := sim()
+	pa := chain(s.Proc, []gate.Type{gate.Inv, gate.Buf, gate.Inv}, 4*s.Proc.CRef, 20)
+	meas, err := s.SimulatePath(pa, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meas.StageT50) != 3 {
+		t.Fatalf("BUF stage measurements collapsed: %d", len(meas.StageT50))
+	}
+	// BUF adds real delay.
+	noBuf := chain(s.Proc, []gate.Type{gate.Inv, gate.Inv}, 4*s.Proc.CRef, 20)
+	mb, err := s.SimulatePath(noBuf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Delay <= mb.Delay {
+		t.Fatal("BUF stage appears to be free")
+	}
+}
+
+func TestSimRejectsComposite(t *testing.T) {
+	s := sim()
+	pa := &delay.Path{Name: "bad", TauIn: 50, Stages: []delay.Stage{
+		{Cell: gate.MustLookup(gate.And2), CIn: 4, COff: 20},
+	}}
+	if _, err := s.SimulatePath(pa, true); err == nil {
+		t.Fatal("composite cell accepted")
+	}
+}
+
+func TestSimWindowTooSmall(t *testing.T) {
+	s := sim()
+	s.Window = 3 // ps: nothing can switch this fast
+	pa := chain(s.Proc, []gate.Type{gate.Inv, gate.Inv}, 4*s.Proc.CRef, 20)
+	if _, err := s.SimulatePath(pa, true); err == nil {
+		t.Fatal("truncated window must error")
+	}
+}
+
+func TestSimWorstAtLeastMean(t *testing.T) {
+	s := sim()
+	pa := chain(s.Proc, []gate.Type{gate.Nor3, gate.Inv}, 4*s.Proc.CRef, 30)
+	mean, err := s.PathDelayMean(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := s.PathDelayWorst(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < mean {
+		t.Fatalf("worst %g below mean %g", worst, mean)
+	}
+}
+
+func TestMeanDelayFnInfOnFailure(t *testing.T) {
+	s := sim()
+	s.Window = 3
+	fn := s.MeanDelayFn()
+	pa := chain(s.Proc, []gate.Type{gate.Inv}, 4*s.Proc.CRef, 20)
+	if !math.IsInf(fn(pa), 1) {
+		t.Fatal("failure must surface as +Inf")
+	}
+}
+
+func TestSimDtDefaulting(t *testing.T) {
+	s := sim()
+	s.DT = 0
+	pa := chain(s.Proc, []gate.Type{gate.Inv}, 4*s.Proc.CRef, 10)
+	if _, err := s.SimulatePath(pa, true); err != nil {
+		t.Fatalf("zero DT must default: %v", err)
+	}
+}

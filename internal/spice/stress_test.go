@@ -1,0 +1,154 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/gate"
+	"repro/internal/tech"
+)
+
+// Failure-injection and stress tests: the backward-Euler integrator
+// claims unconditional stability — prove it at the extremes the
+// optimizers can produce.
+
+func TestSimStableAtMaximumDrive(t *testing.T) {
+	// A maximum-size gate discharging a tiny load has a sub-fs
+	// time constant; an explicit integrator would explode.
+	s := sim()
+	p := s.Proc
+	pa := &delay.Path{
+		Name:  "maxdrive",
+		TauIn: delay.DefaultTauIn(p),
+		Stages: []delay.Stage{
+			{Cell: gate.MustLookup(gate.Inv), CIn: p.CMax, COff: 2},
+		},
+	}
+	meas, err := s.SimulatePath(pa, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meas.Settled {
+		t.Fatal("maximum-drive stage did not settle")
+	}
+	if meas.Delay <= 0 || math.IsNaN(meas.Delay) || math.IsInf(meas.Delay, 0) {
+		t.Fatalf("unstable delay %g", meas.Delay)
+	}
+}
+
+func TestSimStableAtExtremeMismatch(t *testing.T) {
+	// Tiny gate driving a thousand-fold load: very slow node next to
+	// a very fast one.
+	s := sim()
+	p := s.Proc
+	pa := &delay.Path{
+		Name:  "mismatch",
+		TauIn: delay.DefaultTauIn(p),
+		Stages: []delay.Stage{
+			{Cell: gate.MustLookup(gate.Inv), CIn: p.CMax / 2, COff: 0},
+			{Cell: gate.MustLookup(gate.Inv), CIn: p.CRef, COff: 1000},
+		},
+	}
+	meas, err := s.SimulatePath(pa, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tau := range meas.StageTau {
+		if tau <= 0 || math.IsNaN(tau) {
+			t.Fatalf("stage %d transition %g", i, tau)
+		}
+	}
+}
+
+func TestSimVoltagesBounded(t *testing.T) {
+	// Miller kickback may bump nodes past the rails momentarily, but
+	// the solver must keep them in a physical band.
+	s := sim()
+	p := s.Proc
+	types := []gate.Type{gate.Nor3, gate.Nand3, gate.Inv, gate.Nor2}
+	pa := &delay.Path{Name: "bounds", TauIn: 30}
+	for _, ty := range types {
+		pa.Stages = append(pa.Stages, delay.Stage{Cell: gate.MustLookup(ty), CIn: 10, COff: 5})
+	}
+	pa.Stages[len(types)-1].COff = 60
+	meas, err := s.SimulatePath(pa, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crossing times must be ordered and finite — a rail violation
+	// would corrupt them.
+	prev := 0.0
+	for i, t50 := range meas.StageT50 {
+		if math.IsNaN(t50) || t50 < prev {
+			t.Fatalf("stage %d crossing %g after %g", i, t50, prev)
+		}
+		prev = t50
+	}
+	_ = p
+}
+
+func TestSimLongChain(t *testing.T) {
+	// A 40-stage chain exercises accumulation of integration error;
+	// the sim and model must still agree.
+	if testing.Short() {
+		t.Skip("long chain in -short mode")
+	}
+	s := sim()
+	s.DT = 0.5 // coarser step for speed; crossings interpolate
+	m := delay.NewModel(s.Proc)
+	pa := &delay.Path{Name: "long", TauIn: delay.DefaultTauIn(s.Proc)}
+	for i := 0; i < 40; i++ {
+		pa.Stages = append(pa.Stages, delay.Stage{
+			Cell: gate.MustLookup(gate.Inv), CIn: 4 * s.Proc.CRef, COff: 3 * s.Proc.CRef,
+		})
+	}
+	pa.Stages[39].COff = 30
+	want := m.PathDelayMean(pa)
+	got, err := s.PathDelayMean(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got-want) / want; rel > 0.25 {
+		t.Fatalf("40-stage drift: model %g vs sim %g (%.0f%%)", want, got, rel*100)
+	}
+}
+
+func TestSimSlowInputRamp(t *testing.T) {
+	// Input transition much slower than the gate: the paper's
+	// fast-input-range caveat. The sim must still settle and produce a
+	// larger delay than with a fast ramp.
+	s := sim()
+	fast := &delay.Path{Name: "fast", TauIn: 20, Stages: []delay.Stage{
+		{Cell: gate.MustLookup(gate.Inv), CIn: 8, COff: 30},
+	}}
+	slow := &delay.Path{Name: "slow", TauIn: 2000, Stages: []delay.Stage{
+		{Cell: gate.MustLookup(gate.Inv), CIn: 8, COff: 30},
+	}}
+	df, err := s.PathDelayMean(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.PathDelayMean(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds <= df {
+		t.Fatalf("slow ramp not slower: %g vs %g", ds, df)
+	}
+}
+
+func TestSimZeroProcessValidation(t *testing.T) {
+	p := tech.CMOS025()
+	p.VDD = 0
+	s := New(p)
+	pa := &delay.Path{Name: "bad", TauIn: 50, Stages: []delay.Stage{
+		{Cell: gate.MustLookup(gate.Inv), CIn: 4, COff: 10},
+	}}
+	// VDD = 0 means nothing ever crosses: must error, not hang (the
+	// window guard bounds the run).
+	s.Window = 2000
+	if _, err := s.SimulatePath(pa, true); err == nil {
+		t.Fatal("zero-VDD simulation succeeded")
+	}
+}

@@ -1,0 +1,100 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gate"
+	"repro/internal/netlist"
+)
+
+// Incremental timing update, in the spirit of the paper's reference
+// [12] (Crémoux, Azemard, Auvergne, "Path resizing based on
+// incremental technique", ISCAS'98): after a handful of gates change
+// size, only the affected cone is re-propagated instead of the whole
+// circuit. A resized gate perturbs (a) its own stage delay and output
+// transitions and (b) the load — hence timing — of its *drivers*, so
+// the dirty set is seeded with the changed nodes and their fanins, and
+// propagation stops wherever the recomputed timing matches the cached
+// one.
+
+// timingEps is the relative tolerance below which a recomputed arrival
+// or transition is considered unchanged and propagation is cut.
+const timingEps = 1e-12
+
+// Update re-propagates timing after the given nodes changed size (or
+// had their wire load edited). It returns the number of nodes
+// recomputed. The caller must not have changed the circuit's
+// *structure* — after mutations (insertions, rewrites), run a fresh
+// Analyze instead.
+func (r *Result) Update(changed ...*netlist.Node) (int, error) {
+	if len(r.order) != len(r.Circuit.Nodes) {
+		return 0, fmt.Errorf("sta: circuit structure changed since Analyze; run a fresh analysis")
+	}
+	dirty := make(map[*netlist.Node]bool, 4*len(changed))
+	for _, n := range changed {
+		if r.Circuit.Node(n.Name) != n {
+			return 0, fmt.Errorf("sta: node %s is not part of the analyzed circuit", n.Name)
+		}
+		dirty[n] = true
+		for _, f := range n.Fanin {
+			dirty[f] = true // the driver's load changed
+		}
+	}
+
+	recomputed := 0
+	tauIn := r.Config.inputTau(r.Model.Proc)
+	for _, n := range r.order {
+		if !dirty[n] {
+			continue
+		}
+		old := r.Timing[n]
+		switch {
+		case n.Type == gate.Input:
+			r.Timing[n] = NodeTiming{TauRise: tauIn, TauFall: tauIn}
+		case n.Type == gate.Output:
+			d := n.Fanin[0]
+			r.Timing[n] = r.Timing[d]
+			r.predRise[n] = d
+			r.predFall[n] = d
+		default:
+			r.analyzeGate(n)
+		}
+		recomputed++
+		if !sameTiming(old, r.Timing[n]) {
+			for _, s := range n.Fanout {
+				dirty[s] = true
+			}
+		}
+	}
+
+	// Refresh the worst endpoint over all outputs (cheap).
+	r.WorstDelay = math.Inf(-1)
+	r.WorstOutput = nil
+	for _, o := range r.Circuit.Outputs {
+		dt := r.Timing[o]
+		if dt.TRise > r.WorstDelay {
+			r.WorstDelay, r.WorstOutput, r.WorstRising = dt.TRise, o, true
+		}
+		if dt.TFall > r.WorstDelay {
+			r.WorstDelay, r.WorstOutput, r.WorstRising = dt.TFall, o, false
+		}
+	}
+	if r.WorstOutput == nil {
+		return recomputed, fmt.Errorf("sta: circuit %s lost its outputs", r.Circuit.Name)
+	}
+	return recomputed, nil
+}
+
+func sameTiming(a, b NodeTiming) bool {
+	return relClose(a.TRise, b.TRise) && relClose(a.TFall, b.TFall) &&
+		relClose(a.TauRise, b.TauRise) && relClose(a.TauFall, b.TauFall)
+}
+
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= timingEps*scale
+}

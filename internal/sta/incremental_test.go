@@ -1,0 +1,135 @@
+package sta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/iscas"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+func TestIncrementalMatchesFullAnalysis(t *testing.T) {
+	// Property: after arbitrary size changes, Update produces exactly
+	// the timing a fresh Analyze would.
+	p := tech.CMOS025()
+	m := delay.NewModel(p)
+	spec, err := iscas.ByName("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := iscas.MustGenerate(spec)
+	res, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	gates := c.Gates()
+	for trial := 0; trial < 12; trial++ {
+		var changed []*netlist.Node
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			g := gates[rng.Intn(len(gates))]
+			g.CIn = p.ClampCap(p.CRef * math.Exp(rng.Float64()*4))
+			changed = append(changed, g)
+		}
+		if _, err := res.Update(changed...); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Analyze(c, m, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.WorstDelay-fresh.WorstDelay) > 1e-9*fresh.WorstDelay {
+			t.Fatalf("trial %d: incremental %g vs fresh %g", trial, res.WorstDelay, fresh.WorstDelay)
+		}
+		for _, n := range c.Gates() {
+			a, b := res.Timing[n], fresh.Timing[n]
+			if math.Abs(a.TRise-b.TRise) > 1e-9*math.Max(1, b.TRise) ||
+				math.Abs(a.TFall-b.TFall) > 1e-9*math.Max(1, b.TFall) {
+				t.Fatalf("trial %d: node %s diverged: %+v vs %+v", trial, n.Name, a, b)
+			}
+		}
+	}
+}
+
+func TestIncrementalPrunesCone(t *testing.T) {
+	// Changing the last gate of a long chain must touch only a
+	// handful of nodes, not the whole circuit.
+	m := delay.NewModel(tech.CMOS025())
+	c := chainCircuit(t, 30, 12)
+	res, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := c.Node("g" + string(rune('0'+29)))
+	if last == nil {
+		// Chain names use single characters; for n=30 build names
+		// differently — fall back to the last gate in order.
+		gs := c.Gates()
+		last = gs[len(gs)-1]
+	}
+	last.CIn *= 3
+	n, err := res.Update(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cone is: the gate, its driver, and the PO — far below 30.
+	if n > 6 {
+		t.Fatalf("recomputed %d nodes for a tail-gate change", n)
+	}
+}
+
+func TestIncrementalDetectsStructureChange(t *testing.T) {
+	m := delay.NewModel(tech.CMOS025())
+	c := chainCircuit(t, 4, 12)
+	res, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Gates()[1]
+	// Structural mutation invalidates the cached order.
+	if _, _, err := c.InsertBufferPair(g, g.Fanout, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Update(g); err == nil {
+		t.Fatal("stale incremental update accepted after mutation")
+	}
+}
+
+func TestIncrementalRejectsForeignNode(t *testing.T) {
+	m := delay.NewModel(tech.CMOS025())
+	c := chainCircuit(t, 4, 12)
+	d := chainCircuit(t, 4, 12)
+	res, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Update(d.Gates()[0]); err == nil {
+		t.Fatal("node from another circuit accepted")
+	}
+}
+
+func TestIncrementalUpstreamLoadEffect(t *testing.T) {
+	// Resizing a gate changes its driver's delay (load effect): the
+	// driver must be recomputed even though it sits upstream.
+	m := delay.NewModel(tech.CMOS025())
+	c := chainCircuit(t, 5, 12)
+	res, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := c.Gates()
+	mid := gs[2]
+	driver := gs[1]
+	before := res.Timing[driver]
+	mid.CIn *= 8
+	if _, err := res.Update(mid); err != nil {
+		t.Fatal(err)
+	}
+	after := res.Timing[driver]
+	if before.TauRise == after.TauRise && before.TauFall == after.TauFall {
+		t.Fatal("driver transitions unchanged despite load change")
+	}
+}

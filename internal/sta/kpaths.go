@@ -1,0 +1,219 @@
+package sta
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/delay"
+	"repro/internal/gate"
+	"repro/internal/netlist"
+)
+
+// The K-most-critical-path extraction follows the spirit of the
+// paper's reference [11] (Yen, Du, Ghanta, DAC'89): enumerate paths in
+// decreasing delay order without enumerating the exponential path set.
+// We run a best-first search on the (node, edge-polarity) state graph
+// whose arc delays are frozen from an STA pass (slopes fixed at their
+// propagated values — the standard linearization). The completion
+// bound `rem` is exact on the frozen graph, so states are popped in
+// exact descending order of achievable path delay.
+
+type stateKey struct {
+	n      *netlist.Node
+	rising bool // polarity of the node's output edge
+}
+
+type partialPath struct {
+	state  stateKey
+	acc    float64 // delay accumulated from the path start to this state
+	bound  float64 // acc + rem[state]
+	parent *partialPath
+}
+
+type pathHeap []*partialPath
+
+func (h pathHeap) Len() int            { return len(h) }
+func (h pathHeap) Less(i, j int) bool  { return h[i].bound > h[j].bound }
+func (h pathHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x interface{}) { *h = append(*h, x.(*partialPath)) }
+func (h *pathHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// RankedPath is one extracted path with its frozen-graph delay estimate.
+type RankedPath struct {
+	Nodes []*netlist.Node // logic nodes in signal order
+	Delay float64         // estimated worst delay (ps) on the frozen graph
+}
+
+// Signature returns a stable identity for deduplication across edge
+// polarities.
+func (rp RankedPath) Signature() string {
+	names := make([]string, len(rp.Nodes))
+	for i, n := range rp.Nodes {
+		names[i] = n.Name
+	}
+	return strings.Join(names, ">")
+}
+
+// KWorstPaths returns up to k distinct gate chains in decreasing order
+// of path delay (frozen-slope estimate). Paths that share the same gate
+// sequence under both launch polarities are reported once, with the
+// worse delay.
+func KWorstPaths(c *netlist.Circuit, m *delay.Model, cfg Config, k int) ([]RankedPath, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sta: KWorstPaths needs k > 0, got %d", k)
+	}
+	res, err := Analyze(c, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	// arcDelay computes the frozen delay from driver state (d, rising)
+	// through sink gate s, and the resulting output polarity.
+	arcDelay := func(d *netlist.Node, rising bool, s *netlist.Node) (float64, bool) {
+		if s.Type == gate.Output {
+			return 0, rising
+		}
+		cell := s.Cell()
+		cl := s.FanoutCap() + cell.Parasitic(s.CIn)
+		dt := res.Timing[d]
+		if cell.Invert {
+			if rising {
+				return res.Model.GateDelayHL(cell, s.CIn, cl, dt.TauRise), false
+			}
+			return res.Model.GateDelayLH(cell, s.CIn, cl, dt.TauFall), true
+		}
+		if rising {
+			return res.Model.GateDelayLH(cell, s.CIn, cl, dt.TauRise), true
+		}
+		return res.Model.GateDelayHL(cell, s.CIn, cl, dt.TauFall), false
+	}
+
+	// rem[(n, e)]: max remaining delay from the output edge e of n to
+	// any endpoint, on the frozen graph. Computed in reverse topo order.
+	remR := make(map[*netlist.Node]float64, len(order))
+	remF := make(map[*netlist.Node]float64, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.Type == gate.Output {
+			remR[n], remF[n] = 0, 0
+			continue
+		}
+		bestR, bestF := 0.0, 0.0
+		for _, s := range n.Fanout {
+			dR, _ := arcDelay(n, true, s)
+			dF, _ := arcDelay(n, false, s)
+			var nextR, nextF float64
+			if s.Type == gate.Output {
+				nextR, nextF = 0, 0
+			} else if s.Cell().Invert {
+				nextR, nextF = remF[s], remR[s]
+			} else {
+				nextR, nextF = remR[s], remF[s]
+			}
+			if v := dR + nextR; v > bestR {
+				bestR = v
+			}
+			if v := dF + nextF; v > bestF {
+				bestF = v
+			}
+		}
+		remR[n], remF[n] = bestR, bestF
+	}
+	rem := func(st stateKey) float64 {
+		if st.rising {
+			return remR[st.n]
+		}
+		return remF[st.n]
+	}
+
+	h := &pathHeap{}
+	heap.Init(h)
+	for _, in := range c.Inputs {
+		for _, rising := range []bool{true, false} {
+			st := stateKey{in, rising}
+			heap.Push(h, &partialPath{state: st, acc: 0, bound: rem(st)})
+		}
+	}
+
+	seen := make(map[string]bool)
+	var out []RankedPath
+	// Expansion budget guards against adversarial graphs; generous
+	// enough for every benchmark in the suite.
+	budget := 200000 * (k + 1)
+	for h.Len() > 0 && len(out) < k && budget > 0 {
+		budget--
+		pp := heap.Pop(h).(*partialPath)
+		n := pp.state.n
+		if n.Type == gate.Output {
+			rp := materialize(pp)
+			if len(rp.Nodes) == 0 {
+				continue
+			}
+			sig := rp.Signature()
+			if !seen[sig] {
+				seen[sig] = true
+				out = append(out, rp)
+			}
+			continue
+		}
+		if len(n.Fanout) == 0 {
+			continue // dangling net: not an observable endpoint
+		}
+		for _, s := range n.Fanout {
+			d, nextRising := arcDelay(n, pp.state.rising, s)
+			next := stateKey{s, nextRising}
+			acc := pp.acc + d
+			heap.Push(h, &partialPath{state: next, acc: acc, bound: acc + rem(next), parent: pp})
+		}
+	}
+	// Defensive: order can only be violated if the budget truncated the
+	// search; keep the contract anyway.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Delay > out[j].Delay })
+	return out, nil
+}
+
+func materialize(pp *partialPath) RankedPath {
+	var rev []*netlist.Node
+	delayEst := pp.bound // endpoint: bound == acc
+	for q := pp; q != nil; q = q.parent {
+		if q.state.n.IsLogic() {
+			rev = append(rev, q.state.n)
+		}
+	}
+	nodes := make([]*netlist.Node, len(rev))
+	for i := range rev {
+		nodes[i] = rev[len(rev)-1-i]
+	}
+	return RankedPath{Nodes: nodes, Delay: delayEst}
+}
+
+// KWorstBoundedPaths extracts the k worst paths and converts each into
+// a bounded-path object ready for the optimizers.
+func KWorstBoundedPaths(c *netlist.Circuit, m *delay.Model, cfg Config, k int) ([]*delay.Path, error) {
+	ranked, err := KWorstPaths(c, m, cfg, k)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]*delay.Path, 0, len(ranked))
+	for i, rp := range ranked {
+		pa, err := PathFromNodes(fmt.Sprintf("%s/path%d", c.Name, i), rp.Nodes, m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, pa)
+	}
+	return paths, nil
+}

@@ -1,0 +1,141 @@
+package sta
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/gate"
+	"repro/internal/netlist"
+)
+
+// SlackReport carries required times and slacks against a delay
+// constraint — the "iterative timing verification" view the paper's
+// §1 mentions when sizing perturbs adjacent paths.
+type SlackReport struct {
+	Tc float64
+	// Required maps each node to the latest arrival its output may
+	// have without violating Tc at any reachable output (worst edge).
+	Required map[*netlist.Node]float64
+	// Slack is Required − Arrival (worst edge); negative = violating.
+	Slack map[*netlist.Node]float64
+	// WorstSlack is the minimum slack over all nodes.
+	WorstSlack float64
+	// Violations counts nodes with negative slack.
+	Violations int
+}
+
+// Slacks computes required times by a backward pass over the frozen
+// arc delays of this analysis, against constraint tc at every primary
+// output. The returned report shares node identity with the circuit.
+func (r *Result) Slacks(tc float64) (*SlackReport, error) {
+	order, err := r.Circuit.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rep := &SlackReport{
+		Tc:         tc,
+		Required:   make(map[*netlist.Node]float64, len(order)),
+		Slack:      make(map[*netlist.Node]float64, len(order)),
+		WorstSlack: math.Inf(1),
+	}
+	// Edge-aware backward pass, matching the edge-aware forward pass:
+	// a rising output of n constrains against the sink's opposite (for
+	// inverting cells) or same (buffers) output edge. Collapsing edges
+	// to per-arc maxima would be pessimistic — alternation means a
+	// gate's worse edge need not chain with its successor's.
+	reqR := make(map[*netlist.Node]float64, len(order))
+	reqF := make(map[*netlist.Node]float64, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.Type == gate.Output {
+			reqR[n], reqF[n] = tc, tc
+			continue
+		}
+		rr, rf := math.Inf(1), math.Inf(1)
+		dt := r.Timing[n]
+		for _, s := range n.Fanout {
+			if s.Type == gate.Output {
+				if reqR[s] < rr {
+					rr = reqR[s]
+				}
+				if reqF[s] < rf {
+					rf = reqF[s]
+				}
+				continue
+			}
+			cell := s.Cell()
+			cl := s.FanoutCap() + cell.Parasitic(s.CIn)
+			if cell.Invert {
+				// n rising → s falls; n falling → s rises.
+				if v := reqF[s] - r.Model.GateDelayHL(cell, s.CIn, cl, dt.TauRise); v < rr {
+					rr = v
+				}
+				if v := reqR[s] - r.Model.GateDelayLH(cell, s.CIn, cl, dt.TauFall); v < rf {
+					rf = v
+				}
+			} else {
+				if v := reqR[s] - r.Model.GateDelayLH(cell, s.CIn, cl, dt.TauRise); v < rr {
+					rr = v
+				}
+				if v := reqF[s] - r.Model.GateDelayHL(cell, s.CIn, cl, dt.TauFall); v < rf {
+					rf = v
+				}
+			}
+		}
+		reqR[n], reqF[n] = rr, rf
+	}
+	for _, n := range order {
+		rr, rf := reqR[n], reqF[n]
+		if math.IsInf(rr, 1) && math.IsInf(rf, 1) {
+			// Dangling logic: unconstrained.
+			rep.Required[n] = math.Inf(1)
+			rep.Slack[n] = math.Inf(1)
+			continue
+		}
+		var aR, aF float64
+		if n.Type != gate.Input {
+			aR, aF = r.Timing[n].TRise, r.Timing[n].TFall
+		}
+		sl := math.Min(rr-aR, rf-aF)
+		rep.Required[n] = math.Min(rr, rf)
+		rep.Slack[n] = sl
+		if sl < rep.WorstSlack {
+			rep.WorstSlack = sl
+		}
+		// Count violations beyond numerical noise on the tc scale.
+		if sl < -1e-9*math.Abs(tc) {
+			rep.Violations++
+		}
+	}
+	return rep, nil
+}
+
+// CriticalBySlack returns up to k logic nodes ordered by increasing
+// slack — the resize/buffer candidates an incremental flow would visit
+// first.
+func (rep *SlackReport) CriticalBySlack(k int) []*netlist.Node {
+	type cand struct {
+		n  *netlist.Node
+		sl float64
+	}
+	var cands []cand
+	for n, sl := range rep.Slack {
+		if n.IsLogic() && !math.IsInf(sl, 1) {
+			cands = append(cands, cand{n, sl})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sl != cands[j].sl {
+			return cands[i].sl < cands[j].sl
+		}
+		return cands[i].n.ID < cands[j].n.ID
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]*netlist.Node, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, c.n)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package sta
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlacksTightConstraint(t *testing.T) {
+	m := model()
+	c := chainCircuit(t, 5, 12)
+	res, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly at the worst delay: the critical path has ~zero slack,
+	// nothing violates.
+	rep, err := res.Slacks(res.WorstDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("violations at tc = worst delay: %d", rep.Violations)
+	}
+	if math.Abs(rep.WorstSlack) > 1e-6*res.WorstDelay {
+		t.Fatalf("worst slack %g, want ≈0", rep.WorstSlack)
+	}
+	// Tighter: everything on the chain violates.
+	tight, err := res.Slacks(res.WorstDelay * 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Violations == 0 || tight.WorstSlack >= 0 {
+		t.Fatalf("no violations under an impossible constraint: %+v", tight)
+	}
+	// Looser: positive slack everywhere.
+	loose, err := res.Slacks(res.WorstDelay * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.WorstSlack <= 0 {
+		t.Fatalf("loose constraint has non-positive worst slack %g", loose.WorstSlack)
+	}
+}
+
+func TestSlacksOrderCriticalFirst(t *testing.T) {
+	m := model()
+	c := diamondCircuit(t)
+	res, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := res.Slacks(res.WorstDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := rep.CriticalBySlack(3)
+	if len(worst) == 0 {
+		t.Fatal("no slack-ordered candidates")
+	}
+	// The most critical node must be on the deep branch (s1..s3, j) —
+	// never the fast branch f1.
+	if worst[0].Name == "f1" {
+		t.Fatal("shallow branch ranked most critical")
+	}
+	// Slacks must be ordered.
+	for i := 1; i < len(worst); i++ {
+		if rep.Slack[worst[i]] < rep.Slack[worst[i-1]] {
+			t.Fatal("CriticalBySlack not ordered")
+		}
+	}
+}
+
+func TestSlacksConsistentWithArrival(t *testing.T) {
+	// The per-edge slack is at least as large as the pessimistic
+	// collapse required − worstArrival, and under a loose constraint
+	// it grows by exactly the added margin.
+	m := model()
+	c := diamondCircuit(t)
+	res, _ := Analyze(c, m, Config{})
+	rep, err := res.Slacks(res.WorstDelay * 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Gates() {
+		if math.IsInf(rep.Slack[n], 1) {
+			continue
+		}
+		pessimistic := rep.Required[n] - res.Timing[n].Worst()
+		if rep.Slack[n] < pessimistic-1e-9 {
+			t.Fatalf("%s: slack %g below pessimistic bound %g", n.Name, rep.Slack[n], pessimistic)
+		}
+	}
+	// Shifting tc shifts every finite slack by the same amount.
+	rep2, err := res.Slacks(res.WorstDelay * 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := res.WorstDelay * 0.2
+	for _, n := range c.Gates() {
+		if math.IsInf(rep.Slack[n], 1) {
+			continue
+		}
+		if math.Abs(rep2.Slack[n]-rep.Slack[n]-shift) > 1e-9*res.WorstDelay {
+			t.Fatalf("%s: slack did not shift with tc", n.Name)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package sta performs slope-propagating static timing analysis on
+// elaborated netlists using the paper's closed-form delay model, and
+// extracts critical paths as bounded-path objects for the POPS
+// optimizers. Path selection follows the paper's POPS philosophy
+// (ref. [11-12]): only a user-limited number of worst paths is
+// extracted and optimized.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/delay"
+	"repro/internal/gate"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// Config parameterizes an analysis run.
+type Config struct {
+	// InputTau is the transition time (ps) presented at every primary
+	// input. Zero selects delay.DefaultTauIn for the model's corner.
+	InputTau float64
+}
+
+func (cfg Config) inputTau(p *tech.Process) float64 {
+	if cfg.InputTau > 0 {
+		return cfg.InputTau
+	}
+	return delay.DefaultTauIn(p)
+}
+
+// NodeTiming carries the per-net timing state: worst arrival times and
+// output transition times for both output edges.
+type NodeTiming struct {
+	TRise, TFall     float64 // worst arrival of the rising/falling output edge (ps)
+	TauRise, TauFall float64 // output transition times (ps)
+}
+
+// Worst returns the worse of the two arrival times.
+func (t NodeTiming) Worst() float64 { return math.Max(t.TRise, t.TFall) }
+
+// Result is the outcome of an STA run.
+type Result struct {
+	Circuit *netlist.Circuit
+	Model   *delay.Model
+	Config  Config
+
+	Timing map[*netlist.Node]NodeTiming
+
+	// WorstDelay is the latest arrival over all primary outputs (ps);
+	// WorstOutput the pseudo-node where it occurs, WorstRising its edge.
+	WorstDelay  float64
+	WorstOutput *netlist.Node
+	WorstRising bool
+
+	// pred records, per (node, output edge), the fanin whose arrival
+	// determined the worst arrival — the backtracking skeleton.
+	predRise map[*netlist.Node]*netlist.Node
+	predFall map[*netlist.Node]*netlist.Node
+
+	// order caches the topological order for incremental updates.
+	order []*netlist.Node
+}
+
+// Analyze runs slope-propagating STA over the circuit. The circuit must
+// be elaborated (primitive cells only) and acyclic.
+func Analyze(c *netlist.Circuit, m *delay.Model, cfg Config) (*Result, error) {
+	if !netlist.IsElaborated(c) {
+		return nil, fmt.Errorf("sta: circuit %s contains composite cells; run netlist.Elaborate first", c.Name)
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Circuit:  c,
+		Model:    m,
+		Config:   cfg,
+		Timing:   make(map[*netlist.Node]NodeTiming, len(order)),
+		predRise: make(map[*netlist.Node]*netlist.Node),
+		predFall: make(map[*netlist.Node]*netlist.Node),
+		order:    order,
+	}
+	tauIn := cfg.inputTau(m.Proc)
+	res.WorstDelay = math.Inf(-1)
+
+	for _, n := range order {
+		switch {
+		case n.Type == gate.Input:
+			res.Timing[n] = NodeTiming{TauRise: tauIn, TauFall: tauIn}
+		case n.Type == gate.Output:
+			d := n.Fanin[0]
+			dt := res.Timing[d]
+			res.Timing[n] = dt
+			res.predRise[n] = d
+			res.predFall[n] = d
+			if dt.TRise > res.WorstDelay {
+				res.WorstDelay, res.WorstOutput, res.WorstRising = dt.TRise, n, true
+			}
+			if dt.TFall > res.WorstDelay {
+				res.WorstDelay, res.WorstOutput, res.WorstRising = dt.TFall, n, false
+			}
+		default:
+			res.analyzeGate(n)
+		}
+	}
+	if res.WorstOutput == nil {
+		return nil, fmt.Errorf("sta: circuit %s has no primary outputs", c.Name)
+	}
+	return res, nil
+}
+
+// analyzeGate computes the worst rise/fall arrivals of a logic node.
+func (r *Result) analyzeGate(n *netlist.Node) {
+	cell := n.Cell()
+	cl := n.FanoutCap() + cell.Parasitic(n.CIn)
+	tauF := r.Model.TransitionHL(cell, n.CIn, cl)
+	tauR := r.Model.TransitionLH(cell, n.CIn, cl)
+
+	tFall, tRise := math.Inf(-1), math.Inf(-1)
+	var pFall, pRise *netlist.Node
+	for _, d := range n.Fanin {
+		dt := r.Timing[d]
+		if cell.Invert {
+			// Input rising → output falling.
+			if t := dt.TRise + r.Model.GateDelayHL(cell, n.CIn, cl, dt.TauRise); t > tFall {
+				tFall, pFall = t, d
+			}
+			// Input falling → output rising.
+			if t := dt.TFall + r.Model.GateDelayLH(cell, n.CIn, cl, dt.TauFall); t > tRise {
+				tRise, pRise = t, d
+			}
+		} else {
+			// Non-inverting (BUF): edges preserved.
+			if t := dt.TFall + r.Model.GateDelayHL(cell, n.CIn, cl, dt.TauFall); t > tFall {
+				tFall, pFall = t, d
+			}
+			if t := dt.TRise + r.Model.GateDelayLH(cell, n.CIn, cl, dt.TauRise); t > tRise {
+				tRise, pRise = t, d
+			}
+		}
+	}
+	r.Timing[n] = NodeTiming{TRise: tRise, TFall: tFall, TauRise: tauR, TauFall: tauF}
+	r.predRise[n] = pRise
+	r.predFall[n] = pFall
+}
+
+// ArrivalAt returns the worst arrival time at a node's output (ps).
+func (r *Result) ArrivalAt(n *netlist.Node) float64 { return r.Timing[n].Worst() }
+
+// CriticalNodes backtracks the worst path from the worst output to a
+// primary input, returning the logic nodes in signal order.
+func (r *Result) CriticalNodes() []*netlist.Node {
+	var rev []*netlist.Node
+	n := r.WorstOutput
+	rising := r.WorstRising
+	for n != nil {
+		if n.IsLogic() {
+			rev = append(rev, n)
+		}
+		var p *netlist.Node
+		if rising {
+			p = r.predRise[n]
+		} else {
+			p = r.predFall[n]
+		}
+		if p != nil && n.IsLogic() && n.Cell().Invert {
+			rising = !rising
+		}
+		n = p
+	}
+	// Reverse into signal order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathFromNodes builds a bounded-path object from a chain of logic
+// nodes (in signal order). The off-path load of each stage is its full
+// fan-out minus the single pin continuing the path; the last stage
+// keeps its entire fan-out (terminal + branches) as fixed load.
+func PathFromNodes(name string, nodes []*netlist.Node, m *delay.Model, cfg Config) (*delay.Path, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("sta: empty node chain for path %q", name)
+	}
+	pa := &delay.Path{Name: name, TauIn: cfg.inputTau(m.Proc)}
+	for i, n := range nodes {
+		if !n.IsLogic() {
+			return nil, fmt.Errorf("sta: path %q node %s is not a logic cell", name, n.Name)
+		}
+		coff := n.FanoutCap()
+		if i+1 < len(nodes) {
+			next := nodes[i+1]
+			linked := false
+			for _, f := range next.Fanin {
+				if f == n {
+					linked = true
+					break
+				}
+			}
+			if !linked {
+				return nil, fmt.Errorf("sta: path %q: %s does not drive %s", name, n.Name, next.Name)
+			}
+			coff -= next.CIn // one pin continues the path
+			if coff < 0 {
+				coff = 0
+			}
+		}
+		pa.Stages = append(pa.Stages, delay.Stage{Cell: n.Cell(), CIn: n.CIn, COff: coff, Node: n})
+	}
+	return pa, nil
+}
+
+// CriticalPath runs STA and extracts the single worst path as a
+// bounded-path object.
+func CriticalPath(c *netlist.Circuit, m *delay.Model, cfg Config) (*delay.Path, *Result, error) {
+	res, err := Analyze(c, m, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := res.CriticalNodes()
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("sta: circuit %s has an empty critical path", c.Name)
+	}
+	pa, err := PathFromNodes(c.Name+"/critical", nodes, m, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pa, res, nil
+}

@@ -1,0 +1,141 @@
+// Package wire models routing capacitance with a fan-out-based
+// wire-load model (WLM) and quantifies its estimation uncertainty —
+// the §2 motivation of the paper: "the uncertainty in routing
+// capacitance estimation imposes to use many iterations or to consider
+// very large safety margin resulting in oversized designs".
+//
+// Pre-layout, a net's routing capacitance is estimated from its
+// fan-out count (the classic WLM of 1990s/2000s flows):
+//
+//	C_wire(n) = C0 + C1 · fanout(n)^γ      (fF)
+//
+// The Uncertainty helper perturbs the applied loads by a bounded
+// random factor, so experiments can measure how much the optimizers'
+// results move under mis-estimated routing — the effect the paper's
+// deterministic protocol exists to tame.
+package wire
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// Model is a fan-out-based wire-load model.
+type Model struct {
+	// C0 is the per-net constant (via + local routing), fF.
+	C0 float64
+	// C1 scales the fan-out term, fF.
+	C1 float64
+	// Gamma is the fan-out exponent (≥ 1: long nets grow
+	// super-linearly as they leave the local neighbourhood).
+	Gamma float64
+}
+
+// Default025 returns a wire-load model representative of a 0.25 µm
+// standard-cell block: roughly one gate-pin equivalent per fan-out.
+func Default025() Model {
+	return Model{C0: 0.8, C1: 1.4, Gamma: 1.1}
+}
+
+// Validate checks the model coefficients.
+func (m Model) Validate() error {
+	if m.C0 < 0 || m.C1 < 0 {
+		return fmt.Errorf("wire: negative coefficients %+v", m)
+	}
+	if m.Gamma < 0.5 || m.Gamma > 3 {
+		return fmt.Errorf("wire: implausible fan-out exponent %g", m.Gamma)
+	}
+	return nil
+}
+
+// Load returns the estimated routing capacitance (fF) of a net with
+// the given fan-out count.
+func (m Model) Load(fanout int) float64 {
+	if fanout <= 0 {
+		return m.C0
+	}
+	return m.C0 + m.C1*math.Pow(float64(fanout), m.Gamma)
+}
+
+// Apply sets CWire on every driven net of the circuit from the model,
+// replacing previous values. Output pseudo-nodes and primary inputs
+// keep CWire = 0 (their loads are modelled by the port capacitances).
+// Returns the total wire capacitance applied (fF).
+func Apply(c *netlist.Circuit, m Model) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, n := range c.Nodes {
+		if !n.IsLogic() {
+			continue
+		}
+		w := m.Load(len(n.Fanout))
+		n.CWire = w
+		total += w
+	}
+	return total, nil
+}
+
+// Perturb multiplies every net's CWire by a random factor drawn
+// uniformly from [1−spread, 1+spread] — the routing mis-estimation of
+// the paper's §2. Deterministic in seed. Returns the worst factor
+// applied (largest deviation from 1).
+func Perturb(c *netlist.Circuit, spread float64, seed int64) (float64, error) {
+	if spread < 0 || spread >= 1 {
+		return 0, fmt.Errorf("wire: spread %g outside [0, 1)", spread)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	worst := 0.0
+	for _, n := range c.Nodes {
+		if !n.IsLogic() || n.CWire == 0 {
+			continue
+		}
+		f := 1 + spread*(2*rng.Float64()-1)
+		n.CWire *= f
+		if d := math.Abs(f - 1); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// Stats summarizes the wire loads of a circuit.
+type Stats struct {
+	Nets        int
+	TotalFF     float64
+	MeanFF      float64
+	MaxFF       float64
+	MaxNet      string
+	ShareOfLoad float64 // wire / (wire + pin) capacitance share
+}
+
+// Summarize reports the circuit's current wire-load situation.
+func Summarize(c *netlist.Circuit) Stats {
+	var st Stats
+	var pinTotal float64
+	for _, n := range c.Nodes {
+		if !n.IsLogic() {
+			continue
+		}
+		st.Nets++
+		st.TotalFF += n.CWire
+		if n.CWire > st.MaxFF {
+			st.MaxFF = n.CWire
+			st.MaxNet = n.Name
+		}
+		for _, s := range n.Fanout {
+			pinTotal += s.CIn
+		}
+	}
+	if st.Nets > 0 {
+		st.MeanFF = st.TotalFF / float64(st.Nets)
+	}
+	if st.TotalFF+pinTotal > 0 {
+		st.ShareOfLoad = st.TotalFF / (st.TotalFF + pinTotal)
+	}
+	return st
+}

@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/iscas"
+	"repro/internal/sizing"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+func TestModelValidation(t *testing.T) {
+	if err := Default025().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{C0: -1, C1: 1, Gamma: 1},
+		{C0: 1, C1: -1, Gamma: 1},
+		{C0: 1, C1: 1, Gamma: 0.1},
+		{C0: 1, C1: 1, Gamma: 5},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("model %+v accepted", m)
+		}
+	}
+}
+
+func TestLoadMonotone(t *testing.T) {
+	m := Default025()
+	prev := -1.0
+	for f := 0; f < 30; f++ {
+		l := m.Load(f)
+		if l <= prev {
+			t.Fatalf("load not increasing at fanout %d", f)
+		}
+		prev = l
+	}
+	if m.Load(0) != m.C0 {
+		t.Fatal("zero-fanout load must be C0")
+	}
+}
+
+func TestApplySetsLoads(t *testing.T) {
+	spec, err := iscas.ByName("fpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := iscas.MustGenerate(spec)
+	total, err := Apply(c, Default025())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Fatal("no wire load applied")
+	}
+	st := Summarize(c)
+	if st.Nets == 0 || st.MeanFF <= 0 || st.MaxFF < st.MeanFF {
+		t.Fatalf("stats degenerate: %+v", st)
+	}
+	if st.ShareOfLoad <= 0 || st.ShareOfLoad >= 1 {
+		t.Fatalf("wire share %g out of band", st.ShareOfLoad)
+	}
+	// High-fanout hub nets must carry the largest loads.
+	hub := c.Node(st.MaxNet)
+	if hub == nil || len(hub.Fanout) < 3 {
+		t.Fatalf("max-load net %q has fanout %d", st.MaxNet, len(hub.Fanout))
+	}
+}
+
+func TestWireLoadSlowsTiming(t *testing.T) {
+	p := tech.CMOS025()
+	m := delay.NewModel(p)
+	spec, _ := iscas.ByName("c432")
+	c := iscas.MustGenerate(spec)
+	before, err := sta.Analyze(c, m, sta.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(c, Default025()); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sta.Analyze(c, m, sta.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.WorstDelay <= before.WorstDelay {
+		t.Fatalf("wire load did not slow the circuit: %g vs %g",
+			after.WorstDelay, before.WorstDelay)
+	}
+}
+
+func TestPerturbBounded(t *testing.T) {
+	spec, _ := iscas.ByName("fpd")
+	c := iscas.MustGenerate(spec)
+	if _, err := Apply(c, Default025()); err != nil {
+		t.Fatal(err)
+	}
+	ref := map[string]float64{}
+	for _, n := range c.Gates() {
+		ref[n.Name] = n.CWire
+	}
+	worst, err := Perturb(c, 0.3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 0.3 {
+		t.Fatalf("perturbation %g exceeds spread", worst)
+	}
+	for _, n := range c.Gates() {
+		f := n.CWire / ref[n.Name]
+		if f < 0.7-1e-9 || f > 1.3+1e-9 {
+			t.Fatalf("net %s factor %g outside [0.7, 1.3]", n.Name, f)
+		}
+	}
+	if _, err := Perturb(c, 1.5, 1); err == nil {
+		t.Fatal("spread ≥ 1 accepted")
+	}
+}
+
+func TestUncertaintyMovesTminModestly(t *testing.T) {
+	// The deterministic bound Tmin shifts with routing mis-estimation,
+	// but boundedly — the protocol re-runs cheaply instead of carrying
+	// a blanket margin (the paper's argument).
+	p := tech.CMOS025()
+	m := delay.NewModel(p)
+	spec, _ := iscas.ByName("c880")
+
+	tminAt := func(seed int64, spread float64) float64 {
+		c := iscas.MustGenerate(spec)
+		if _, err := Apply(c, Default025()); err != nil {
+			t.Fatal(err)
+		}
+		if spread > 0 {
+			if _, err := Perturb(c, spread, seed); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pa, _, err := sta.CriticalPath(c, m, sta.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sizing.Tmin(m, pa, sizing.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Delay
+	}
+	base := tminAt(0, 0)
+	for seed := int64(1); seed <= 3; seed++ {
+		shifted := tminAt(seed, 0.3)
+		rel := math.Abs(shifted-base) / base
+		if rel > 0.15 {
+			t.Fatalf("±30%% wire uncertainty moved Tmin by %.0f%%", rel*100)
+		}
+	}
+}

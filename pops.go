@@ -1,0 +1,276 @@
+// Package pops is a from-scratch Go reproduction of the low-power CMOS
+// circuit optimization protocol of Verle, Michel, Azemard, Maurine and
+// Auvergne (DATE 2005): "Low Power Oriented CMOS Circuit Optimization
+// Protocol".
+//
+// The library selects, deterministically, the cheapest way to make a
+// combinational path meet a delay constraint Tc: transistor (gate)
+// sizing, buffer insertion, or De Morgan logic restructuring. The
+// selection metrics are the path delay bounds Tmin/Tmax (feasibility
+// and constraint-domain classification), the constant-sensitivity
+// sizing method (minimum-area constraint distribution, eq. 5-6 of the
+// paper), and the per-gate fan-out limit Flimit for buffer insertion
+// (Table 2 of the paper).
+//
+// The package is a facade over the internal substrates:
+//
+//	tech        process corners (0.25 µm class by default)
+//	gate        the primitive cell library and its logical weights
+//	netlist     circuit graphs, ISCAS'85 .bench I/O, mutations
+//	logic       boolean evaluation and equivalence checking
+//	iscas       the paper's benchmark suite (synthetic substitutes)
+//	delay       the closed-form timing model (eq. 1-3)
+//	sta         slope-propagating timing analysis, K worst paths
+//	spice       a transistor-level transient simulator (HSPICE stand-in)
+//	sizing      Tmin/Tmax bounds and constraint distribution (§3)
+//	buffering   Flimit characterization and buffer insertion (§4.1)
+//	restructure De Morgan NOR→NAND rewrites (§4.2)
+//	amps        an industrial-style baseline sizer (AMPS stand-in)
+//	core        the optimization protocol (Fig. 7)
+//	power       dynamic power from toggle-counted activities
+//	calib       model calibration against the transistor simulator
+//	wire        fan-out wire-load model and uncertainty sweeps (§2)
+//	le          classic logical effort (ref. [4]) baseline
+//
+// Quick start:
+//
+//	proc := pops.DefaultProcess()
+//	model := pops.NewModel(proc)
+//	circuit, _ := pops.Benchmark("c432")
+//	path, _, _ := pops.CriticalPath(circuit, model)
+//	bounds, _ := pops.Bounds(model, path)
+//	res, _ := pops.Distribute(model, path, 1.3*bounds.Tmin)
+//	fmt.Printf("area %.1f µm at %.0f ps\n", res.Area, res.Delay)
+package pops
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/buffering"
+	"repro/internal/calib"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/gate"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/sizing"
+	"repro/internal/spice"
+	"repro/internal/sta"
+	"repro/internal/tech"
+	"repro/internal/wire"
+)
+
+// Core types, re-exported for users of the facade.
+type (
+	// Process is a CMOS technology corner.
+	Process = tech.Process
+	// Model is the closed-form delay model (eq. 1-3).
+	Model = delay.Model
+	// Path is a bounded combinational path.
+	Path = delay.Path
+	// Stage is one gate of a bounded path.
+	Stage = delay.Stage
+	// Circuit is a combinational netlist.
+	Circuit = netlist.Circuit
+	// Node is a vertex of a netlist.
+	Node = netlist.Node
+	// GateType enumerates library cells.
+	GateType = gate.Type
+	// SizingResult reports a sizing run.
+	SizingResult = sizing.Result
+	// SizingOptions tunes the sizing solvers.
+	SizingOptions = sizing.Options
+	// FlimitEntry is one row of the library characterization.
+	FlimitEntry = buffering.TableEntry
+	// Protocol is the configured Fig. 7 decision diagram.
+	Protocol = core.Protocol
+	// ProtocolConfig parameterizes the protocol.
+	ProtocolConfig = core.Config
+	// PathOutcome reports the protocol's decision on one path.
+	PathOutcome = core.PathOutcome
+	// CircuitOutcome reports a circuit-level protocol run.
+	CircuitOutcome = core.CircuitOutcome
+	// Domain is the constraint-domain classification.
+	Domain = core.Domain
+	// Simulator is the transistor-level transient simulator.
+	Simulator = spice.Simulator
+	// STAConfig parameterizes timing analysis.
+	STAConfig = sta.Config
+	// STAResult is a timing-analysis outcome.
+	STAResult = sta.Result
+	// BenchmarkSpec describes one suite benchmark.
+	BenchmarkSpec = iscas.Spec
+)
+
+// Constraint domains (Fig. 6/7).
+const (
+	Infeasible = core.Infeasible
+	HardDomain = core.Hard
+	MediumDom  = core.Medium
+	WeakDomain = core.Weak
+)
+
+// DefaultProcess returns the calibrated 0.25 µm-class corner used by
+// all paper experiments.
+func DefaultProcess() *Process { return tech.CMOS025() }
+
+// NewModel builds the paper's full delay model on a corner.
+func NewModel(p *Process) *Model { return delay.NewModel(p) }
+
+// NewSimulator builds the transistor-level simulator on a corner.
+func NewSimulator(p *Process) *Simulator { return spice.New(p) }
+
+// LoadBench parses an ISCAS'85 .bench netlist and elaborates it onto
+// the primitive library.
+func LoadBench(r io.Reader) (*Circuit, error) {
+	c, err := netlist.ReadBench(r, netlist.BenchOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return netlist.Elaborate(c)
+}
+
+// LoadBenchFile is LoadBench on a file path.
+func LoadBenchFile(path string) (*Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadBench(f)
+}
+
+// WriteBench serializes a circuit in .bench format.
+func WriteBench(w io.Writer, c *Circuit) error { return netlist.WriteBench(w, c) }
+
+// Benchmarks lists the paper's benchmark suite.
+func Benchmarks() []BenchmarkSpec { return iscas.Suite() }
+
+// Benchmark instantiates a suite benchmark by name ("c432", "Adder16",
+// "fpd", …), the genuine embedded "c17", or a structural ripple-carry
+// adder ("rca16" for 16 bits, any width).
+func Benchmark(name string) (*Circuit, error) {
+	if name == "c17" {
+		return iscas.C17(), nil
+	}
+	if n, ok := rcaBits(name); ok {
+		return iscas.RippleCarryAdder(n)
+	}
+	spec, err := iscas.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return iscas.Generate(spec)
+}
+
+func rcaBits(name string) (int, bool) {
+	if len(name) < 4 || name[:3] != "rca" {
+		return 0, false
+	}
+	n := 0
+	for _, ch := range name[3:] {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		n = n*10 + int(ch-'0')
+	}
+	return n, n > 0
+}
+
+// Analyze runs slope-propagating STA over an elaborated circuit.
+func Analyze(c *Circuit, m *Model) (*STAResult, error) {
+	return sta.Analyze(c, m, sta.Config{})
+}
+
+// CriticalPath extracts the worst path of a circuit as a bounded path.
+func CriticalPath(c *Circuit, m *Model) (*Path, *STAResult, error) {
+	return sta.CriticalPath(c, m, sta.Config{})
+}
+
+// KWorstPaths extracts the k most critical paths, worst first.
+func KWorstPaths(c *Circuit, m *Model, k int) ([]*Path, error) {
+	return sta.KWorstBoundedPaths(c, m, sta.Config{}, k)
+}
+
+// PathBounds carries the delay-space exploration of §3.1.
+type PathBounds struct {
+	Tmin float64 // minimum achievable delay (ps)
+	Tmax float64 // all-minimum-drive delay (ps)
+}
+
+// Bounds computes Tmin and Tmax of a bounded path. The path is left
+// sized at the minimum-delay point.
+func Bounds(m *Model, pa *Path) (PathBounds, error) {
+	q := pa.Clone()
+	tmax := sizing.Tmax(m, q)
+	r, err := sizing.Tmin(m, pa, sizing.Options{})
+	if err != nil {
+		return PathBounds{}, err
+	}
+	return PathBounds{Tmin: r.Delay, Tmax: tmax}, nil
+}
+
+// Distribute sizes the path to meet tc (ps) at minimum area with the
+// constant sensitivity method. It returns sizing.ErrInfeasible (wrapped)
+// when tc is below the path's minimum achievable delay.
+func Distribute(m *Model, pa *Path, tc float64) (*SizingResult, error) {
+	return sizing.Distribute(m, pa, tc, sizing.Options{})
+}
+
+// ErrInfeasible is re-exported from the sizing layer.
+var ErrInfeasible = sizing.ErrInfeasible
+
+// CharacterizeLibrary computes the buffer-insertion fan-out limits of
+// every library gate driven by an inverter (the paper's Table 2).
+func CharacterizeLibrary(m *Model) []FlimitEntry {
+	return buffering.CharacterizeLibrary(m, nil, buffering.Options{})
+}
+
+// NewProtocol configures the Fig. 7 protocol. A zero Config needs only
+// the Model field; the library is characterized on first use.
+func NewProtocol(cfg ProtocolConfig) (*Protocol, error) { return core.NewProtocol(cfg) }
+
+// Equivalent checks functional equivalence of two circuits (exhaustive
+// up to 16 inputs, randomized above). A nil counterexample means
+// equivalent.
+func Equivalent(a, b *Circuit, trials int, seed int64) (*logic.Counterexample, error) {
+	return logic.Equivalent(a, b, trials, seed)
+}
+
+// Power estimation and model calibration types, re-exported.
+type (
+	// PowerEstimate reports dynamic power of a sized netlist.
+	PowerEstimate = power.Estimate
+	// PowerOptions tunes the activity extraction.
+	PowerOptions = power.Options
+	// Calibration is a fitted model parameter set.
+	Calibration = calib.Result
+	// SlackReport carries required times and slacks against Tc.
+	SlackReport = sta.SlackReport
+)
+
+// EstimatePower computes the dynamic power of a circuit under random
+// switching activity (toggle-counted by logic simulation).
+func EstimatePower(c *Circuit, p *Process, opts PowerOptions) (*PowerEstimate, error) {
+	return power.EstimateCircuit(c, p, opts)
+}
+
+// Calibrate fits the delay model's S0 and logical weights from the
+// transistor-level simulator — the paper's SPICE-calibration step.
+// A nil type list calibrates the whole inverting library.
+func Calibrate(p *Process, types []GateType) (*Calibration, error) {
+	if types == nil {
+		types = calib.DefaultTypes()
+	}
+	return calib.Calibrate(p, nil, types, calib.Options{})
+}
+
+// ApplyWireLoads estimates routing capacitance on every net with the
+// default fan-out-based wire-load model and returns the total applied
+// (fF). Optimization after this reflects pre-layout loading.
+func ApplyWireLoads(c *Circuit) (float64, error) {
+	return wire.Apply(c, wire.Default025())
+}
