@@ -10,8 +10,13 @@
 package pops
 
 import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/gate"
 )
@@ -379,6 +384,133 @@ func BenchmarkRobustnessSeedSweep(b *testing.B) {
 		mean = row.MeanGain
 	}
 	b.ReportMetric(mean, "gain-mean-%")
+}
+
+// --- Concurrent batch-engine benches (internal/engine) ---
+
+// engineBenchSet × engineRatios is the suite batch used to compare the
+// sequential driver against the engine's worker pool: one (circuit,
+// Tc) task per cell, heterogeneous circuit sizes for load balancing.
+var (
+	engineBenchSet = []string{"fpd", "c432", "c880", "c1355"}
+	engineRatios   = []float64{1.2, 1.5, 2.0}
+)
+
+// BenchmarkSequentialSuite is the single-threaded baseline: the same
+// benchmark×ratio batch, one protocol instance (characterized once,
+// like the engine's shared cache), strictly serial.
+func BenchmarkSequentialSuite(b *testing.B) {
+	model := NewModel(DefaultProcess())
+	proto, err := NewProtocol(ProtocolConfig{Model: model})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range engineBenchSet {
+			for _, ratio := range engineRatios {
+				c, err := Benchmark(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pa, _, err := CriticalPath(c, model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bounds, err := Bounds(model, pa.Clone())
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err := proto.OptimizeCircuit(c, ratio*bounds.Tmin)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !out.Feasible {
+					b.Fatalf("%s@%.2f infeasible", name, ratio)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkEngineSuite runs the same batch through the concurrent
+// engine at 1/2/4/8 workers. On multi-core hardware the suite job
+// scales near-linearly until the worker count passes GOMAXPROCS; the
+// speedup-vs-BenchmarkSequentialSuite ratio is the engine's headline
+// number (recorded in BENCH_engine.json).
+func BenchmarkEngineSuite(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := NewEngine(EngineConfig{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			req := SuiteRequest{Benchmarks: engineBenchSet, Ratios: engineRatios}
+			// Warm the characterization cache outside the timed
+			// region, mirroring the baseline's pre-built protocol.
+			if _, err := eng.Optimize(context.Background(), OptimizeRequest{Circuit: "fpd", Ratio: 2}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Suite(context.Background(), req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range res.Rows {
+					if !r.Feasible {
+						b.Fatalf("%s@%.2f infeasible", r.Circuit, r.Ratio)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSweep measures the Tc-grid job: 9 points on one
+// circuit, the workload where cached bounds pay off most (one Tmin
+// solve serves every point).
+func BenchmarkEngineSweep(b *testing.B) {
+	eng, err := NewEngine(EngineConfig{Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the characterization cache and the circuit's bounds entry
+	// outside the timed region, like BenchmarkEngineSuite.
+	if _, err := eng.Optimize(context.Background(), OptimizeRequest{Circuit: "c880", Ratio: 2}); err != nil {
+		b.Fatal(err)
+	}
+	var area float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw, err := eng.Sweep(context.Background(), SweepRequest{Circuit: "c880", Points: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		area = sw.Points[len(sw.Points)-1].Area
+	}
+	b.ReportMetric(area, "area-at-2Tmin")
+}
+
+// BenchmarkEngineHTTP measures the full service path: JSON request in,
+// job through the store and pool, JSON result out.
+func BenchmarkEngineHTTP(b *testing.B) {
+	eng, err := NewEngine(EngineConfig{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := engine.NewServer(context.Background(), eng)
+	defer srv.Shutdown()
+	body := `{"circuit":"fpd","ratio":1.5,"wait":true}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/optimize", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
 }
 
 // BenchmarkAblationTminSeeding verifies the CREF-independence of the

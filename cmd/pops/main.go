@@ -9,6 +9,7 @@
 //	pops optimize -circuit c432 -ratio 1.3          # Tc = 1.3 × Tmin
 //	pops slack    -circuit c880 -ratio 1.2          # required times / slacks
 //	pops power    (-bench file.bench | -circuit c432)
+//	pops report   (-bench file.bench | -circuit c432)  # combined summary
 //	pops flimit                                      # library characterization
 //	pops calibrate                                   # fit model from simulator
 //	pops list                                        # benchmark suite
@@ -21,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -43,14 +45,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(cmd, *benchFile, *circuit, *tc, *ratio, *k); err != nil {
+	if err := run(os.Stdout, cmd, *benchFile, *circuit, *tc, *ratio, *k); err != nil {
 		fmt.Fprintln(os.Stderr, "pops:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pops <analyze|bounds|optimize|flimit|list> [flags]
+	fmt.Fprintln(os.Stderr, `usage: pops <analyze|bounds|optimize|report|slack|power|flimit|calibrate|list> [flags]
 run "pops <command> -h" for command flags`)
 }
 
@@ -65,7 +67,28 @@ func load(benchFile, circuit string) (*pops.Circuit, error) {
 	}
 }
 
-func run(cmd, benchFile, circuit string, tc, ratio float64, k int) error {
+// printStats prints the one-line circuit header shared by analyze and
+// report.
+func printStats(w io.Writer, c *pops.Circuit, worst *pops.STAResult) {
+	st := c.Stats()
+	fmt.Fprintf(w, "circuit %s: %d gates, %d inputs, %d outputs, depth %d\n",
+		c.Name, st.Gates, st.Inputs, st.Outputs, st.Depth)
+	fmt.Fprintf(w, "worst delay: %.1f ps at %s\n", worst.WorstDelay, worst.WorstOutput.Name)
+}
+
+// printPower estimates and prints dynamic power, shared by power and
+// report.
+func printPower(w io.Writer, c *pops.Circuit, proc *pops.Process) error {
+	est, err := pops.EstimatePower(c, proc, pops.PowerOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dynamic power: %.1f µW at 100 MHz (mean activity %.2f, switched cap %.0f fF/cycle)\n",
+		est.TotalUW, est.MeanActivity, est.SwitchedCapFF)
+	return nil
+}
+
+func run(w io.Writer, cmd, benchFile, circuit string, tc, ratio float64, k int) error {
 	proc := pops.DefaultProcess()
 	model := pops.NewModel(proc)
 
@@ -75,7 +98,7 @@ func run(cmd, benchFile, circuit string, tc, ratio float64, k int) error {
 		for _, s := range pops.Benchmarks() {
 			t.AddRow(s.Name, s.Inputs, s.Outputs, s.Gates, s.PathLen)
 		}
-		fmt.Print(t.String())
+		fmt.Fprint(w, t.String())
 		return nil
 
 	case "flimit":
@@ -83,7 +106,7 @@ func run(cmd, benchFile, circuit string, tc, ratio float64, k int) error {
 		for _, e := range pops.CharacterizeLibrary(model) {
 			t.AddRow(e.Gate.String(), e.Flimit)
 		}
-		fmt.Print(t.String())
+		fmt.Fprint(w, t.String())
 		return nil
 
 	case "calibrate":
@@ -91,15 +114,15 @@ func run(cmd, benchFile, circuit string, tc, ratio float64, k int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("fitted S0 = %.3f (library %.3f)\n", res.S0, proc.S0)
+		fmt.Fprintf(w, "fitted S0 = %.3f (library %.3f)\n", res.S0, proc.S0)
 		t := report.NewTable("fitted logical weights (transistor-level)", "Gate", "DW_HL", "DW_LH")
 		for _, gt := range pops.CharacterizeLibrary(model) {
 			if w, ok := res.Weights[gt.Gate]; ok {
 				t.AddRow(gt.Gate.String(), w.HL, w.LH)
 			}
 		}
-		fmt.Print(t.String())
-		fmt.Printf("library RMS deviation: %.1f%%\n", res.LibraryRMS*100)
+		fmt.Fprint(w, t.String())
+		fmt.Fprintf(w, "library RMS deviation: %.1f%%\n", res.LibraryRMS*100)
 		return nil
 	}
 
@@ -114,10 +137,7 @@ func run(cmd, benchFile, circuit string, tc, ratio float64, k int) error {
 		if err != nil {
 			return err
 		}
-		st := c.Stats()
-		fmt.Printf("circuit %s: %d gates, %d inputs, %d outputs, depth %d\n",
-			c.Name, st.Gates, st.Inputs, st.Outputs, st.Depth)
-		fmt.Printf("worst delay: %.1f ps at %s\n", res.WorstDelay, res.WorstOutput.Name)
+		printStats(w, c, res)
 		paths, err := pops.KWorstPaths(c, model, k)
 		if err != nil {
 			return err
@@ -126,7 +146,7 @@ func run(cmd, benchFile, circuit string, tc, ratio float64, k int) error {
 		for i, pa := range paths {
 			t.AddRow(i+1, pa.Len(), model.PathDelayWorst(pa), pa.Area(proc))
 		}
-		fmt.Print(t.String())
+		fmt.Fprint(w, t.String())
 		return nil
 
 	case "bounds":
@@ -138,9 +158,9 @@ func run(cmd, benchFile, circuit string, tc, ratio float64, k int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("critical path: %d gates\n", pa.Len())
-		fmt.Printf("Tmin = %.1f ps   Tmax = %.1f ps\n", b.Tmin, b.Tmax)
-		fmt.Printf("domains: hard < %.1f ps ≤ medium ≤ %.1f ps < weak\n",
+		fmt.Fprintf(w, "critical path: %d gates\n", pa.Len())
+		fmt.Fprintf(w, "Tmin = %.1f ps   Tmax = %.1f ps\n", b.Tmin, b.Tmax)
+		fmt.Fprintf(w, "domains: hard < %.1f ps ≤ medium ≤ %.1f ps < weak\n",
 			1.2*b.Tmin, 2.5*b.Tmin)
 		return nil
 
@@ -167,27 +187,40 @@ func run(cmd, benchFile, circuit string, tc, ratio float64, k int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("constraint: %.1f ps\n", tc)
-		fmt.Printf("result: delay %.1f ps, circuit area %.1f µm, feasible=%v\n",
+		fmt.Fprintf(w, "constraint: %.1f ps\n", tc)
+		fmt.Fprintf(w, "result: delay %.1f ps, circuit area %.1f µm, feasible=%v\n",
 			out.Delay, out.Area, out.Feasible)
-		fmt.Printf("rounds=%d buffers=%d nor-rewrites=%d\n",
+		fmt.Fprintf(w, "rounds=%d buffers=%d nor-rewrites=%d\n",
 			out.Rounds, out.Buffers, out.NorRewrites)
 		for i, po := range out.PathOutcomes {
-			fmt.Printf("  round %d: domain=%s method=%s delay=%.1f area=%.1f\n",
+			fmt.Fprintf(w, "  round %d: domain=%s method=%s delay=%.1f area=%.1f\n",
 				i+1, po.Domain, po.Method, po.Delay, po.Area)
 		}
 		return nil
 
 	case "power":
-		est, err := pops.EstimatePower(c, proc, pops.PowerOptions{})
+		st := c.Stats()
+		fmt.Fprintf(w, "circuit %s: %d gates\n", c.Name, st.Gates)
+		return printPower(w, c, proc)
+
+	case "report":
+		res, err := pops.Analyze(c, model)
 		if err != nil {
 			return err
 		}
-		st := c.Stats()
-		fmt.Printf("circuit %s: %d gates\n", c.Name, st.Gates)
-		fmt.Printf("dynamic power: %.1f µW at 100 MHz (mean activity %.2f, switched cap %.0f fF/cycle)\n",
-			est.TotalUW, est.MeanActivity, est.SwitchedCapFF)
-		return nil
+		printStats(w, c, res)
+		pa, _, err := pops.CriticalPath(c, model)
+		if err != nil {
+			return err
+		}
+		b, err := pops.Bounds(model, pa.Clone())
+		if err != nil {
+			return err
+		}
+		t := report.NewTable("critical path", "Gates", "Tmin (ps)", "Tmax (ps)", "Hard < (ps)", "Weak > (ps)")
+		t.AddRow(pa.Len(), b.Tmin, b.Tmax, 1.2*b.Tmin, 2.5*b.Tmin)
+		fmt.Fprint(w, t.String())
+		return printPower(w, c, proc)
 
 	case "slack":
 		res, err := pops.Analyze(c, model)
@@ -204,13 +237,13 @@ func run(cmd, benchFile, circuit string, tc, ratio float64, k int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("constraint %.1f ps: worst slack %.1f ps, %d violating nodes\n",
+		fmt.Fprintf(w, "constraint %.1f ps: worst slack %.1f ps, %d violating nodes\n",
 			tc, rep.WorstSlack, rep.Violations)
 		t := report.NewTable("most critical nodes", "Node", "Slack (ps)")
 		for _, n := range rep.CriticalBySlack(k) {
 			t.AddRow(n.Name, rep.Slack[n])
 		}
-		fmt.Print(t.String())
+		fmt.Fprint(w, t.String())
 		return nil
 	}
 	usage()

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden runs one CLI invocation and compares its stdout against
+// testdata/<name>.golden. Everything the CLI prints is deterministic:
+// benchmarks generate from fixed seeds, power vectors from seed 1, and
+// the protocol itself is deterministic by construction.
+func golden(t *testing.T, name, cmd, circuit string, tc, ratio float64, k int) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(&buf, cmd, "", circuit, tc, ratio, k); err != nil {
+		t.Fatalf("%s: %v", cmd, err)
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./cmd/pops -update): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("%s output drifted from %s\n--- got\n%s--- want\n%s", cmd, path, got, want)
+	}
+}
+
+func TestOptimizeGolden(t *testing.T) {
+	golden(t, "optimize_fpd", "optimize", "fpd", 0, 1.5, 3)
+}
+
+func TestOptimizeHardGolden(t *testing.T) {
+	golden(t, "optimize_c432_hard", "optimize", "c432", 0, 1.1, 3)
+}
+
+func TestReportGolden(t *testing.T) {
+	golden(t, "report_fpd", "report", "fpd", 0, 0, 3)
+}
+
+func TestListGolden(t *testing.T) {
+	golden(t, "list", "list", "", 0, 0, 3)
+}
+
+func TestBoundsGolden(t *testing.T) {
+	golden(t, "bounds_c880", "bounds", "c880", 0, 0, 3)
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "optimize", "", "fpd", 0, 0, 3); err == nil ||
+		!strings.Contains(err.Error(), "-tc or -ratio") {
+		t.Fatalf("optimize without constraint: %v", err)
+	}
+	if err := run(&buf, "analyze", "", "", 0, 0, 3); err == nil ||
+		!strings.Contains(err.Error(), "-bench or -circuit") {
+		t.Fatalf("analyze without circuit: %v", err)
+	}
+	if err := run(&buf, "frobnicate", "", "fpd", 0, 0, 3); err == nil ||
+		!strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("unknown command: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+// Command popsd serves the optimization protocol as a long-running
+// JSON HTTP daemon over the concurrent batch engine.
+//
+// Usage:
+//
+//	popsd [-addr :8080] [-workers N] [-max-rounds N]
+//
+// Endpoints (see internal/engine's HTTP layer):
+//
+//	GET  /healthz
+//	POST /v1/optimize   {"circuit":"c432","ratio":1.4}
+//	POST /v1/sweep      {"circuit":"c880","points":9}
+//	POST /v1/suite      {"benchmarks":["fpd","c432"],"ratios":[1.2,2.0]}
+//	GET  /v1/jobs
+//	GET  /v1/jobs/{id}
+//
+// POSTs enqueue async jobs and answer 202 with a job ID for polling;
+// add "wait": true to block for the result.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size")
+	maxRounds := flag.Int("max-rounds", 0, "per-circuit protocol round bound (0: library default)")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *maxRounds); err != nil {
+		fmt.Fprintln(os.Stderr, "popsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, maxRounds int) error {
+	eng, err := engine.New(engine.Config{Workers: workers, MaxRounds: maxRounds})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := engine.NewServer(ctx, eng)
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("popsd: listening on %s with %d workers", addr, eng.Workers())
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("popsd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	srv.Shutdown() // drain async jobs
+	return nil
+}

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -250,6 +251,114 @@ type CircuitOutcome struct {
 	PathOutcomes []*PathOutcome
 }
 
+// StepResult reports one round of the circuit driver (one
+// OptimizeStep call).
+type StepResult struct {
+	// Met is true when the circuit already satisfied Tc at entry; no
+	// work was performed and every other field is zero.
+	Met bool
+	// WorstDelay is the STA worst delay observed at entry (ps).
+	WorstDelay float64
+	// Outcome is the path protocol's decision for this round.
+	Outcome *PathOutcome
+	// Buffers counts inverter pairs replayed into the netlist.
+	Buffers int
+	// NorRewrites counts NOR gates replaced by NAND duals.
+	NorRewrites int
+	// Progress reports whether the round changed the netlist
+	// structure when the path protocol failed to meet the constraint
+	// (buffer insertion or a De Morgan rewrite). When Outcome is
+	// infeasible and Progress is false the driver is out of moves.
+	Progress bool
+}
+
+// stepSlack: path-level rounds target a slightly tighter constraint so
+// the netlist-level verification lands strictly inside Tc despite the
+// bisection tolerance of the distribution step. The margin grows with
+// the round count: paths sharing stages perturb each other when
+// resized (the paper's "adjacent upward paths"), and a fixed margin
+// can plateau just above Tc — progressive tightening forces strict
+// progress until the whole path set converges. Capped at 2%.
+const stepSlack = 5e-4
+
+// OptimizeStep runs one round of the circuit driver: analyze, extract
+// the worst path, run the Fig. 7 path protocol at a progressively
+// tightened constraint, write the sizes back, replay inserted buffers
+// as inverter pairs, and escalate to De Morgan NOR rewrites when the
+// path protocol cannot reach Tc. The round index selects the
+// tightening margin; callers iterating from zero reproduce
+// OptimizeCircuit exactly. The circuit is modified in place.
+//
+// Exporting the step lets external drivers — notably the concurrent
+// batch engine in internal/engine — interleave rounds with
+// cancellation checks and progress reporting while remaining
+// result-identical to OptimizeCircuit.
+func (p *Protocol) OptimizeStep(c *netlist.Circuit, tc float64, round int) (*StepResult, error) {
+	m := p.cfg.Model
+	res, err := sta.Analyze(c, m, p.cfg.STA)
+	if err != nil {
+		return nil, err
+	}
+	if res.WorstDelay <= tc {
+		return &StepResult{Met: true, WorstDelay: res.WorstDelay}, nil
+	}
+	st := &StepResult{WorstDelay: res.WorstDelay}
+	tighten := stepSlack * float64(1+round)
+	if tighten > 0.02 {
+		tighten = 0.02
+	}
+	tcEff := tc * (1 - tighten)
+	nodes := res.CriticalNodes()
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("core: circuit %s has no critical path", c.Name)
+	}
+	pa, err := sta.PathFromNodes(fmt.Sprintf("%s/round%d", c.Name, round), nodes, m, p.cfg.STA)
+	if err != nil {
+		return nil, err
+	}
+	po, err := p.OptimizePath(pa, tcEff)
+	if err != nil {
+		return nil, err
+	}
+	st.Outcome = po
+
+	// Apply sizes of the original stages back to the netlist.
+	po.Path.WriteBack()
+
+	// Replay inserted buffers as inverter pairs.
+	inserted, err := replayBuffers(c, m, po.Path)
+	if err != nil {
+		return nil, err
+	}
+	st.Buffers = inserted
+
+	if !po.Feasible {
+		// Structure modification: De Morgan the path's NORs.
+		rep, err := restructure.RewritePathNORs(c, logicNodes(po.Path))
+		if err != nil {
+			return nil, err
+		}
+		st.NorRewrites = len(rep.Rewritten)
+		st.Progress = len(rep.Rewritten) > 0 || inserted > 0
+	}
+	return st, nil
+}
+
+// Summarize closes a stepped run: it re-analyzes the circuit and fills
+// the outcome's final delay, feasibility and area. External step
+// drivers call it after their round loop; OptimizeCircuit uses it for
+// its own epilogue.
+func (p *Protocol) Summarize(c *netlist.Circuit, out *CircuitOutcome) error {
+	res, err := sta.Analyze(c, p.cfg.Model, p.cfg.STA)
+	if err != nil {
+		return err
+	}
+	out.Delay = res.WorstDelay
+	out.Feasible = res.WorstDelay <= out.Tc
+	out.Area = c.Area(p.cfg.Model.Proc.WidthForCap)
+	return nil
+}
+
 // OptimizeCircuit drives the protocol over a netlist: repeatedly
 // extract the worst path, run the path protocol, write the sizes back,
 // replay buffer insertions as logic-preserving inverter pairs, and —
@@ -257,77 +366,38 @@ type CircuitOutcome struct {
 // De Morgan duals before retrying. The circuit is modified in place;
 // clone first to keep the original.
 func (p *Protocol) OptimizeCircuit(c *netlist.Circuit, tc float64) (*CircuitOutcome, error) {
-	m := p.cfg.Model
-	out := &CircuitOutcome{Tc: tc}
-	// Path-level rounds target a slightly tighter constraint so the
-	// netlist-level verification lands strictly inside Tc despite the
-	// bisection tolerance of the distribution step. The margin grows
-	// with the round count: paths sharing stages perturb each other
-	// when resized (the paper's "adjacent upward paths"), and a fixed
-	// margin can plateau just above Tc — progressive tightening forces
-	// strict progress until the whole path set converges. Capped at 2%.
-	const slack = 5e-4
+	return p.OptimizeCircuitContext(context.Background(), c, tc)
+}
 
+// OptimizeCircuitContext is OptimizeCircuit with cancellation between
+// rounds — the driver shared by the sequential path and the concurrent
+// engine, so both accumulate outcomes through the exact same loop.
+func (p *Protocol) OptimizeCircuitContext(ctx context.Context, c *netlist.Circuit, tc float64) (*CircuitOutcome, error) {
+	out := &CircuitOutcome{Tc: tc}
 	for round := 0; round < p.cfg.MaxRounds; round++ {
-		res, err := sta.Analyze(c, m, p.cfg.STA)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st, err := p.OptimizeStep(c, tc, round)
 		if err != nil {
 			return nil, err
 		}
-		if res.WorstDelay <= tc {
+		if st.Met {
 			out.Feasible = true
 			break
 		}
-		tighten := slack * float64(1+round)
-		if tighten > 0.02 {
-			tighten = 0.02
-		}
-		tcEff := tc * (1 - tighten)
-		nodes := res.CriticalNodes()
-		if len(nodes) == 0 {
-			return nil, fmt.Errorf("core: circuit %s has no critical path", c.Name)
-		}
-		pa, err := sta.PathFromNodes(fmt.Sprintf("%s/round%d", c.Name, round), nodes, m, p.cfg.STA)
-		if err != nil {
-			return nil, err
-		}
-		po, err := p.OptimizePath(pa, tcEff)
-		if err != nil {
-			return nil, err
-		}
-		out.PathOutcomes = append(out.PathOutcomes, po)
+		out.PathOutcomes = append(out.PathOutcomes, st.Outcome)
 		out.Rounds = round + 1
-
-		// Apply sizes of the original stages back to the netlist.
-		po.Path.WriteBack()
-
-		// Replay inserted buffers as inverter pairs.
-		inserted, err := replayBuffers(c, m, po.Path)
-		if err != nil {
-			return nil, err
-		}
-		out.Buffers += inserted
-
-		if !po.Feasible {
-			// Structure modification: De Morgan the path's NORs.
-			rep, err := restructure.RewritePathNORs(c, logicNodes(po.Path))
-			if err != nil {
-				return nil, err
-			}
-			out.NorRewrites += len(rep.Rewritten)
-			if len(rep.Rewritten) == 0 && inserted == 0 {
-				// Out of moves: the constraint is unreachable.
-				break
-			}
+		out.Buffers += st.Buffers
+		out.NorRewrites += st.NorRewrites
+		if !st.Outcome.Feasible && !st.Progress {
+			// Out of moves: the constraint is unreachable.
+			break
 		}
 	}
-
-	res, err := sta.Analyze(c, m, p.cfg.STA)
-	if err != nil {
+	if err := p.Summarize(c, out); err != nil {
 		return nil, err
 	}
-	out.Delay = res.WorstDelay
-	out.Feasible = res.WorstDelay <= tc
-	out.Area = c.Area(m.Proc.WidthForCap)
 	return out, nil
 }
 

@@ -1,0 +1,132 @@
+// Characterization cache: the engine memoizes every reusable
+// sub-problem of the protocol — the library Flimit table of a process
+// corner (the Fig. 7 "library characterization" step, shared by every
+// job on that corner) and the Tmin/Tmax delay bounds of a path (shared
+// by every Tc point of a sweep and by repeated submissions of the same
+// circuit). Entries are computed once under a per-key latch, so
+// concurrent workers hitting the same key block on one computation
+// instead of duplicating it.
+package engine
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/buffering"
+	"repro/internal/delay"
+	"repro/internal/gate"
+	"repro/internal/sizing"
+)
+
+// Cache memoizes per-process characterization artifacts. The zero
+// value is not usable; call NewCache. A Cache is safe for concurrent
+// use and is shared by all workers of an Engine.
+type Cache struct {
+	mu     sync.Mutex
+	limits map[string]*limitsEntry
+	bounds map[string]*boundsEntry
+}
+
+// limitsEntry latches one library characterization (Flimit table rows
+// and the derived per-gate limit map) for a process corner.
+type limitsEntry struct {
+	once    sync.Once
+	entries []buffering.TableEntry
+	limits  map[gate.Type]float64
+}
+
+// boundsEntry latches the Tmin/Tmax delay bounds of one path shape.
+type boundsEntry struct {
+	once       sync.Once
+	tmin, tmax float64
+	err        error
+}
+
+// NewCache returns an empty characterization cache.
+func NewCache() *Cache {
+	return &Cache{
+		limits: make(map[string]*limitsEntry),
+		bounds: make(map[string]*boundsEntry),
+	}
+}
+
+// Characterization returns the memoized library characterization of
+// the model's process corner: the Table 2 rows (gate, driver, Flimit)
+// and the per-gate insertion-limit map consumed by the protocol.
+func (ca *Cache) Characterization(m *delay.Model) ([]buffering.TableEntry, map[gate.Type]float64) {
+	ca.mu.Lock()
+	e, ok := ca.limits[m.Proc.Name]
+	if !ok {
+		e = &limitsEntry{}
+		ca.limits[m.Proc.Name] = e
+	}
+	ca.mu.Unlock()
+	e.once.Do(func() {
+		e.entries = buffering.CharacterizeLibrary(m, nil, buffering.Options{})
+		e.limits = buffering.Limits(e.entries)
+	})
+	return e.entries, e.limits
+}
+
+// Limits returns the memoized Flimit lookup for the model's corner.
+func (ca *Cache) Limits(m *delay.Model) map[gate.Type]float64 {
+	_, lim := ca.Characterization(m)
+	return lim
+}
+
+// Bounds returns the memoized Tmin/Tmax delay bounds of a path,
+// keyed by process corner + path signature. The path itself is never
+// mutated: the solvers run on throwaway clones. The sizing options are
+// not part of the key — a cache belongs to one Engine, whose options
+// are fixed at construction.
+func (ca *Cache) Bounds(m *delay.Model, pa *delay.Path, opts sizing.Options) (tmin, tmax float64, err error) {
+	key := m.Proc.Name + "/" + PathSignature(pa)
+	ca.mu.Lock()
+	e, ok := ca.bounds[key]
+	if !ok {
+		e = &boundsEntry{}
+		ca.bounds[key] = e
+	}
+	ca.mu.Unlock()
+	e.once.Do(func() {
+		e.tmax = sizing.Tmax(m, pa.Clone())
+		r, err := sizing.Tmin(m, pa.Clone(), opts)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.tmin = r.Delay
+	})
+	return e.tmin, e.tmax, e.err
+}
+
+// PathSignature returns a stable fingerprint of a path's optimization
+// sub-problem: the stage cell sequence with sizes and off-path loads,
+// plus the entry transition time. Two paths with equal signatures have
+// identical delay bounds; the path name is deliberately excluded.
+func PathSignature(pa *delay.Path) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	word(math.Float64bits(pa.TauIn))
+	word(uint64(len(pa.Stages)))
+	for i := range pa.Stages {
+		st := &pa.Stages[i]
+		word(uint64(st.Cell.Type))
+		word(math.Float64bits(st.CIn))
+		word(math.Float64bits(st.COff))
+	}
+	sum := h.Sum64()
+	const hex = "0123456789abcdef"
+	var out [16]byte
+	for i := 15; i >= 0; i-- {
+		out[i] = hex[sum&0xf]
+		sum >>= 4
+	}
+	return string(out[:])
+}

@@ -1,0 +1,419 @@
+// Package engine is the concurrent batch-optimization engine of the
+// library: it shards protocol work across a bounded worker pool and
+// exposes the three batch workloads of an industrial flow —
+//
+//	Optimize  one circuit at one delay constraint Tc
+//	Sweep     one circuit across a Tc grid Tmin·[1.0 … 2.0] (the
+//	          area/delay trade-off curve of Fig. 3/6)
+//	Suite     a whole benchmark suite at a set of constraint ratios
+//
+// Jobs fan out over goroutines at path/Tc granularity: every (circuit,
+// Tc) unit is an independent task running the sequential Fig. 7
+// protocol on its own netlist clone, so results are byte-identical to
+// core.OptimizeCircuit regardless of worker count or scheduling (the
+// equivalence is enforced by TestEngineMatchesSequential). A shared,
+// mutex-guarded characterization cache (Flimit tables and Tmin/Tmax
+// bounds keyed by process + path signature) computes repeated
+// sub-problems once across all tasks of all jobs.
+//
+// The Store and Server types layer an async job queue and a
+// standard-library JSON HTTP service (cmd/popsd) on top of the same
+// pool.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/iscas"
+	"repro/internal/netlist"
+	"repro/internal/sizing"
+	"repro/internal/sta"
+	"repro/internal/tech"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers bounds the number of concurrently running tasks.
+	// Zero selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Process is the technology corner; nil selects tech.CMOS025().
+	Process *tech.Process
+	// Sizing tunes the inner solvers (forwarded to the protocol).
+	Sizing sizing.Options
+	// STA configures path extraction (forwarded to the protocol).
+	STA sta.Config
+	// MaxRounds bounds the per-circuit optimize-worst-path iterations
+	// (default: the core driver's 12).
+	MaxRounds int
+}
+
+// Engine is a concurrent batch optimizer. It is safe for concurrent
+// use; all jobs share one worker pool and one characterization cache.
+type Engine struct {
+	cfg     Config
+	model   *delay.Model
+	muProto sync.Mutex // guards lazy construction of proto
+	proto   *core.Protocol
+	cache   *Cache
+	slots   chan struct{} // bounded worker-pool semaphore
+}
+
+// New builds an engine. The library is characterized lazily, on the
+// first job that needs the Flimit table.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Process == nil {
+		cfg.Process = tech.CMOS025()
+	}
+	if err := cfg.Process.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:   cfg,
+		model: delay.NewModel(cfg.Process),
+		cache: NewCache(),
+		slots: make(chan struct{}, cfg.Workers),
+	}
+	return e, nil
+}
+
+// Workers reports the pool bound.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Model exposes the engine's delay model (read-only).
+func (e *Engine) Model() *delay.Model { return e.model }
+
+// protocol returns the shared protocol instance, characterizing the
+// library through the cache on first use.
+func (e *Engine) protocol() (*core.Protocol, error) {
+	e.muProto.Lock()
+	defer e.muProto.Unlock()
+	if e.proto != nil {
+		return e.proto, nil
+	}
+	p, err := core.NewProtocol(core.Config{
+		Model:     e.model,
+		Limits:    e.cache.Limits(e.model),
+		Sizing:    e.cfg.Sizing,
+		STA:       e.cfg.STA,
+		MaxRounds: e.cfg.MaxRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.proto = p
+	return p, nil
+}
+
+// fanOut runs n index-addressed tasks on the bounded pool and blocks
+// until all scheduled tasks finish. Results land in caller-owned
+// slices at their task index, so assembly order — and therefore every
+// job result — is independent of scheduling. On context cancellation
+// unstarted tasks are skipped; the first error by task index wins.
+func (e *Engine) fanOut(ctx context.Context, n int, task func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			break
+		}
+		select {
+		case e.slots <- struct{}{}:
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+		}
+		if errs[i] != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-e.slots }()
+			errs[i] = task(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadCircuit instantiates a fresh netlist for a request: a named
+// suite benchmark, the genuine c17, or a ripple-carry adder — always a
+// new instance, so concurrent tasks never share mutable gates.
+func loadCircuit(name string) (*netlist.Circuit, error) { return iscas.Load(name) }
+
+// OptimizeRequest names one (circuit, Tc) unit of work.
+type OptimizeRequest struct {
+	// Circuit is a suite benchmark name ("c432", "fpd", …).
+	Circuit string `json:"circuit"`
+	// Tc is the delay constraint in ps. Zero derives it from Ratio.
+	Tc float64 `json:"tc,omitempty"`
+	// Ratio expresses Tc as a multiple of the critical path's Tmin;
+	// used when Tc is zero (default 1.4).
+	Ratio float64 `json:"ratio,omitempty"`
+}
+
+// OptimizeResult reports one optimized circuit.
+type OptimizeResult struct {
+	Circuit    string  `json:"circuit"`
+	Tc         float64 `json:"tc"`
+	Tmin       float64 `json:"tmin"`
+	Tmax       float64 `json:"tmax"`
+	Gates      int     `json:"gates"`
+	Outcome    *core.CircuitOutcome
+	FromBounds bool // bounds served from the shared cache
+}
+
+// Optimize runs the full circuit protocol for one request. The round
+// loop drives core.OptimizeStep directly so cancellation is honored
+// between rounds; the assembled outcome is identical to
+// core.OptimizeCircuit on the same inputs.
+func (e *Engine) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeResult, error) {
+	res := &OptimizeResult{Circuit: req.Circuit}
+	err := e.fanOut(ctx, 1, func(int) error {
+		r, err := e.optimizeTask(ctx, req, nil, nil)
+		if err != nil {
+			return err
+		}
+		*res = *r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// pathBounds carries a precomputed Tmin/Tmax pair into optimizeTask
+// when the caller already solved them (sweep points share one master).
+type pathBounds struct {
+	tmin, tmax float64
+}
+
+// optimizeTask is the worker body shared by Optimize, Sweep and Suite.
+// It must be called from a pool slot. c overrides circuit loading when
+// the caller pre-cloned a netlist; tb skips the critical-path
+// extraction and bounds solve when the caller already has them.
+func (e *Engine) optimizeTask(ctx context.Context, req OptimizeRequest, c *netlist.Circuit, tb *pathBounds) (*OptimizeResult, error) {
+	proto, err := e.protocol()
+	if err != nil {
+		return nil, err
+	}
+	if c == nil {
+		if c, err = loadCircuit(req.Circuit); err != nil {
+			return nil, err
+		}
+	}
+	if tb == nil {
+		pa, _, err := sta.CriticalPath(c, e.model, e.cfg.STA)
+		if err != nil {
+			return nil, err
+		}
+		tmin, tmax, err := e.cache.Bounds(e.model, pa, e.cfg.Sizing)
+		if err != nil {
+			return nil, err
+		}
+		tb = &pathBounds{tmin: tmin, tmax: tmax}
+	}
+	tc := req.Tc
+	if tc <= 0 {
+		ratio := req.Ratio
+		if ratio <= 0 {
+			ratio = 1.4
+		}
+		tc = ratio * tb.tmin
+	}
+
+	out, err := proto.OptimizeCircuitContext(ctx, c, tc)
+	if err != nil {
+		return nil, err
+	}
+	st := c.Stats()
+	return &OptimizeResult{
+		Circuit: req.Circuit,
+		Tc:      tc,
+		Tmin:    tb.tmin,
+		Tmax:    tb.tmax,
+		Gates:   st.Gates,
+		Outcome: out,
+	}, nil
+}
+
+// SweepRequest asks for an area/delay trade-off curve: the circuit is
+// optimized at every point of a Tc grid spanning Tmin·[1.0 … 2.0].
+type SweepRequest struct {
+	// Circuit is a suite benchmark name.
+	Circuit string `json:"circuit"`
+	// Points is the grid size (default 11: ratio steps of 0.1; at
+	// most MaxSweepPoints).
+	Points int `json:"points,omitempty"`
+}
+
+// Fan-out bounds: requests arrive from the network (popsd), so grid
+// sizes are capped to keep a single job's allocation and task count
+// sane. A 256-point curve already over-resolves the [1.0, 2.0] ratio
+// axis by an order of magnitude.
+const (
+	MaxSweepPoints = 256
+	MaxSuiteCells  = 4096
+)
+
+// SweepPoint is one Tc point of the curve.
+type SweepPoint struct {
+	Ratio    float64 `json:"ratio"` // Tc/Tmin
+	Tc       float64 `json:"tc"`    // ps
+	Delay    float64 `json:"delay"` // achieved worst delay (ps)
+	Area     float64 `json:"area"`  // achieved circuit ΣW (µm)
+	Feasible bool    `json:"feasible"`
+	Rounds   int     `json:"rounds"`
+	Buffers  int     `json:"buffers"`
+}
+
+// Sweep is a completed trade-off curve, points ordered by rising Tc.
+type Sweep struct {
+	Circuit string       `json:"circuit"`
+	Tmin    float64      `json:"tmin"` // ps, critical path
+	Tmax    float64      `json:"tmax"` // ps
+	Points  []SweepPoint `json:"points"`
+}
+
+// Sweep fans the grid points of one circuit out over the pool. Bounds
+// are computed once (through the cache) and every point optimizes its
+// own clone of one master netlist, keeping points independent and the
+// curve deterministic.
+func (e *Engine) Sweep(ctx context.Context, req SweepRequest) (*Sweep, error) {
+	points := req.Points
+	if points <= 0 {
+		points = 11
+	}
+	if points == 1 {
+		return nil, fmt.Errorf("engine: sweep needs at least 2 points")
+	}
+	if points > MaxSweepPoints {
+		return nil, fmt.Errorf("engine: sweep of %d points exceeds the %d-point cap", points, MaxSweepPoints)
+	}
+	master, err := loadCircuit(req.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	pa, _, err := sta.CriticalPath(master, e.model, e.cfg.STA)
+	if err != nil {
+		return nil, err
+	}
+	tmin, tmax, err := e.cache.Bounds(e.model, pa, e.cfg.Sizing)
+	if err != nil {
+		return nil, err
+	}
+	sw := &Sweep{Circuit: req.Circuit, Tmin: tmin, Tmax: tmax, Points: make([]SweepPoint, points)}
+	bounds := &pathBounds{tmin: tmin, tmax: tmax}
+	err = e.fanOut(ctx, points, func(i int) error {
+		ratio := 1.0 + float64(i)/float64(points-1)
+		r, err := e.optimizeTask(ctx, OptimizeRequest{Circuit: req.Circuit, Tc: ratio * tmin}, master.Clone(), bounds)
+		if err != nil {
+			return err
+		}
+		sw.Points[i] = SweepPoint{
+			Ratio:    ratio,
+			Tc:       r.Tc,
+			Delay:    r.Outcome.Delay,
+			Area:     r.Outcome.Area,
+			Feasible: r.Outcome.Feasible,
+			Rounds:   r.Outcome.Rounds,
+			Buffers:  r.Outcome.Buffers,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// SuiteRequest asks for a batch run over a benchmark list at a set of
+// constraint ratios.
+type SuiteRequest struct {
+	// Benchmarks lists suite names; empty selects the whole suite.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Ratios lists Tc/Tmin constraint points (default {1.2, 1.5, 2.0}).
+	Ratios []float64 `json:"ratios,omitempty"`
+}
+
+// SuiteRow is one (benchmark, ratio) cell of a suite run.
+type SuiteRow struct {
+	Circuit  string  `json:"circuit"`
+	Ratio    float64 `json:"ratio"`
+	Tc       float64 `json:"tc"`
+	Tmin     float64 `json:"tmin"`
+	Delay    float64 `json:"delay"`
+	Area     float64 `json:"area"`
+	Feasible bool    `json:"feasible"`
+	Rounds   int     `json:"rounds"`
+	Buffers  int     `json:"buffers"`
+}
+
+// SuiteResult is a completed suite run, rows ordered benchmark-major.
+type SuiteResult struct {
+	Rows []SuiteRow `json:"rows"`
+}
+
+// Suite fans a benchmark×ratio grid out over the pool, one task per
+// (circuit, Tc) cell — the granularity that load-balances the suite's
+// heterogeneous circuit sizes across workers.
+func (e *Engine) Suite(ctx context.Context, req SuiteRequest) (*SuiteResult, error) {
+	names := req.Benchmarks
+	if len(names) == 0 {
+		for _, s := range iscas.Suite() {
+			names = append(names, s.Name)
+		}
+	}
+	ratios := req.Ratios
+	if len(ratios) == 0 {
+		ratios = []float64{1.2, 1.5, 2.0}
+	}
+	if cells := len(names) * len(ratios); cells > MaxSuiteCells {
+		return nil, fmt.Errorf("engine: suite of %d cells exceeds the %d-cell cap", cells, MaxSuiteCells)
+	}
+	// Validate names up front: one typo must not cost a full batch of
+	// optimization work before the error surfaces.
+	for _, name := range names {
+		if !iscas.Known(name) {
+			return nil, fmt.Errorf("iscas: unknown benchmark %q", name)
+		}
+	}
+	rows := make([]SuiteRow, len(names)*len(ratios))
+	err := e.fanOut(ctx, len(rows), func(i int) error {
+		name, ratio := names[i/len(ratios)], ratios[i%len(ratios)]
+		r, err := e.optimizeTask(ctx, OptimizeRequest{Circuit: name, Ratio: ratio}, nil, nil)
+		if err != nil {
+			return fmt.Errorf("%s@%.2f: %w", name, ratio, err)
+		}
+		rows[i] = SuiteRow{
+			Circuit:  name,
+			Ratio:    ratio,
+			Tc:       r.Tc,
+			Tmin:     r.Tmin,
+			Delay:    r.Outcome.Delay,
+			Area:     r.Outcome.Area,
+			Feasible: r.Outcome.Feasible,
+			Rounds:   r.Outcome.Rounds,
+			Buffers:  r.Outcome.Buffers,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SuiteResult{Rows: rows}, nil
+}

@@ -1,0 +1,256 @@
+// HTTP layer: a standard-library JSON service over the engine and the
+// async job store. cmd/popsd mounts it; tests drive it with httptest.
+//
+//	GET  /healthz            liveness + pool stats
+//	POST /v1/optimize        one (circuit, Tc) job
+//	POST /v1/sweep           Tc-grid trade-off curve job
+//	POST /v1/suite           benchmark-suite batch job
+//	GET  /v1/jobs            all jobs, submission order
+//	GET  /v1/jobs/{id}       one job with result when done
+//	DELETE /v1/jobs          prune finished jobs (retention valve)
+//
+// POST bodies are JSON. By default a POST enqueues the job and answers
+// 202 Accepted with the job snapshot for polling; {"wait": true} runs
+// it synchronously and answers 200 with the finished job.
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Server is the popsd HTTP service.
+type Server struct {
+	engine *Engine
+	store  *Store
+	mux    *http.ServeMux
+}
+
+// NewServer wires a service over an engine. Jobs submitted through it
+// run under ctx; cancel it (or Close the returned server's store via
+// Shutdown) to stop background work.
+func NewServer(ctx context.Context, e *Engine) *Server {
+	s := &Server{
+		engine: e,
+		store:  NewStore(ctx),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/suite", s.handleSuite)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs", s.handlePrune)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Store exposes the job store (graceful shutdown, tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Shutdown stops accepting results and drains in-flight jobs.
+func (s *Server) Shutdown() { s.store.Close() }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.engine.Workers(),
+		"process": s.engine.Model().Proc.Name,
+		"jobs":    len(s.store.List()),
+	})
+}
+
+// optimizeBody is the POST /v1/optimize request payload.
+type optimizeBody struct {
+	OptimizeRequest
+	Wait bool `json:"wait,omitempty"`
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var body optimizeBody
+	if !readJSON(w, r, &body) {
+		return
+	}
+	if body.Circuit == "" {
+		httpError(w, http.StatusBadRequest, errors.New("circuit is required"))
+		return
+	}
+	s.dispatch(w, JobOptimize, body.Wait, func(ctx context.Context) (any, error) {
+		res, err := s.engine.Optimize(ctx, body.OptimizeRequest)
+		if err != nil {
+			return nil, err
+		}
+		return wireOptimize(res), nil
+	})
+}
+
+// sweepBody is the POST /v1/sweep request payload.
+type sweepBody struct {
+	SweepRequest
+	Wait bool `json:"wait,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var body sweepBody
+	if !readJSON(w, r, &body) {
+		return
+	}
+	if body.Circuit == "" {
+		httpError(w, http.StatusBadRequest, errors.New("circuit is required"))
+		return
+	}
+	s.dispatch(w, JobSweep, body.Wait, func(ctx context.Context) (any, error) {
+		return s.engine.Sweep(ctx, body.SweepRequest)
+	})
+}
+
+// suiteBody is the POST /v1/suite request payload.
+type suiteBody struct {
+	SuiteRequest
+	Wait bool `json:"wait,omitempty"`
+}
+
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	var body suiteBody
+	if !readJSON(w, r, &body) {
+		return
+	}
+	s.dispatch(w, JobSuite, body.Wait, func(ctx context.Context) (any, error) {
+		return s.engine.Suite(ctx, body.SuiteRequest)
+	})
+}
+
+// dispatch submits the job and answers either the finished job (wait)
+// or a 202 snapshot for polling.
+func (s *Server) dispatch(w http.ResponseWriter, kind JobKind, wait bool, run func(ctx context.Context) (any, error)) {
+	j := s.store.Submit(kind, run)
+	if !wait {
+		writeJSON(w, http.StatusAccepted, j)
+		return
+	}
+	done, ok := s.store.Await(j.ID)
+	if !ok {
+		// A concurrent DELETE /v1/jobs pruned the job between finish
+		// and pickup; the result is gone.
+		httpError(w, http.StatusGone, errors.New("job was pruned before its result was read"))
+		return
+	}
+	status := http.StatusOK
+	if done.Status == JobFailed {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, done)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.store.List()})
+}
+
+// handlePrune drops all finished jobs and their retained results —
+// the retention valve for long-running daemons.
+func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]int{"pruned": s.store.Prune(time.Time{})})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// OptimizeWire is the JSON shape of an optimize result: the outcome
+// summary without the netlist back-references of core.CircuitOutcome
+// (whose Path/Node graphs are cyclic and not marshalable).
+type OptimizeWire struct {
+	Circuit     string     `json:"circuit"`
+	Tc          float64    `json:"tc"`
+	Tmin        float64    `json:"tmin"`
+	Tmax        float64    `json:"tmax"`
+	Gates       int        `json:"gates"`
+	Delay       float64    `json:"delay"`
+	Area        float64    `json:"area"`
+	Feasible    bool       `json:"feasible"`
+	Rounds      int        `json:"rounds"`
+	Buffers     int        `json:"buffers"`
+	NorRewrites int        `json:"norRewrites"`
+	Paths       []PathWire `json:"paths,omitempty"`
+}
+
+// PathWire is one protocol round in an OptimizeWire.
+type PathWire struct {
+	Domain   string  `json:"domain"`
+	Method   string  `json:"method"`
+	Tmin     float64 `json:"tmin"`
+	Tmax     float64 `json:"tmax"`
+	Tc       float64 `json:"tc"`
+	Delay    float64 `json:"delay"`
+	Area     float64 `json:"area"`
+	Buffers  int     `json:"buffers"`
+	Feasible bool    `json:"feasible"`
+	Stages   int     `json:"stages"`
+}
+
+// wireOptimize flattens an OptimizeResult for JSON transport.
+func wireOptimize(r *OptimizeResult) OptimizeWire {
+	o := OptimizeWire{
+		Circuit:     r.Circuit,
+		Tc:          r.Tc,
+		Tmin:        r.Tmin,
+		Tmax:        r.Tmax,
+		Gates:       r.Gates,
+		Delay:       r.Outcome.Delay,
+		Area:        r.Outcome.Area,
+		Feasible:    r.Outcome.Feasible,
+		Rounds:      r.Outcome.Rounds,
+		Buffers:     r.Outcome.Buffers,
+		NorRewrites: r.Outcome.NorRewrites,
+	}
+	for _, po := range r.Outcome.PathOutcomes {
+		o.Paths = append(o.Paths, PathWire{
+			Domain:   po.Domain.String(),
+			Method:   po.Method,
+			Tmin:     po.Tmin,
+			Tmax:     po.Tmax,
+			Tc:       po.Tc,
+			Delay:    po.Delay,
+			Area:     po.Area,
+			Buffers:  po.Buffers,
+			Feasible: po.Feasible,
+			Stages:   po.Path.Len(),
+		})
+	}
+	return o
+}
+
+// readJSON decodes a bounded request body, answering 400 on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

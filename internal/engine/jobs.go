@@ -1,0 +1,193 @@
+// Async job store: popsd's POST endpoints enqueue work here and
+// return a job ID immediately; GET /v1/jobs/{id} polls the status.
+// Jobs execute on the engine's bounded pool (their inner fan-out takes
+// pool slots), so the store adds queueing semantics without a second
+// concurrency regime.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobKind names the workload of a job.
+type JobKind string
+
+// Job kinds accepted by the store.
+const (
+	JobOptimize JobKind = "optimize"
+	JobSweep    JobKind = "sweep"
+	JobSuite    JobKind = "suite"
+)
+
+// JobStatus is the lifecycle state of a job.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	JobPending JobStatus = "pending"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// Job is a point-in-time snapshot of one submitted job. Result is nil
+// until the job is done; Error is empty unless it failed.
+type Job struct {
+	ID       string    `json:"id"`
+	Kind     JobKind   `json:"kind"`
+	Status   JobStatus `json:"status"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	Result   any       `json:"result,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// Store is an in-memory async job registry. It is safe for concurrent
+// use. Finished jobs (and their result payloads) are retained until
+// Prune is called; a long-running daemon polling heavy sweep/suite
+// results should prune once clients have collected them.
+type Store struct {
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	done   map[string]chan struct{} // closed when the job finishes
+	order  []string                 // submission order, for List
+	seq    int
+	base   context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewStore builds a job store whose jobs run under ctx; cancelling it
+// stops queued work at the next round boundary.
+func NewStore(ctx context.Context) *Store {
+	base, cancel := context.WithCancel(ctx)
+	return &Store{
+		jobs:   make(map[string]*Job),
+		done:   make(map[string]chan struct{}),
+		base:   base,
+		cancel: cancel,
+	}
+}
+
+// Submit registers a job and launches it asynchronously. run receives
+// the store's base context and returns the job's result value.
+func (s *Store) Submit(kind JobKind, run func(ctx context.Context) (any, error)) Job {
+	s.mu.Lock()
+	s.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", s.seq),
+		Kind:    kind,
+		Status:  JobPending,
+		Created: time.Now().UTC(),
+	}
+	s.jobs[j.ID] = j
+	done := make(chan struct{})
+	s.done[j.ID] = done
+	s.order = append(s.order, j.ID)
+	snapshot := *j
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(done)
+		s.transition(j.ID, func(j *Job) {
+			j.Status = JobRunning
+			j.Started = time.Now().UTC()
+		})
+		res, err := run(s.base)
+		s.transition(j.ID, func(j *Job) {
+			j.Finished = time.Now().UTC()
+			if err != nil {
+				j.Status = JobFailed
+				j.Error = err.Error()
+				return
+			}
+			j.Status = JobDone
+			j.Result = res
+		})
+	}()
+	return snapshot
+}
+
+// Await blocks until the job finishes (or was never submitted) and
+// returns its final snapshot.
+func (s *Store) Await(id string) (Job, bool) {
+	s.mu.Lock()
+	done, ok := s.done[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, false
+	}
+	<-done
+	return s.Get(id)
+}
+
+func (s *Store) transition(id string, f func(*Job)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		f(j)
+	}
+}
+
+// Get returns a snapshot of one job.
+func (s *Store) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns snapshots of all jobs in submission order.
+func (s *Store) List() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.jobs[id])
+	}
+	return out
+}
+
+// Prune drops finished (done or failed) jobs older than cutoff,
+// releasing their result payloads, and reports how many were removed.
+// A zero cutoff prunes every finished job.
+func (s *Store) Prune(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.order[:0]
+	removed := 0
+	for _, id := range s.order {
+		j := s.jobs[id]
+		finished := j.Status == JobDone || j.Status == JobFailed
+		if finished && (cutoff.IsZero() || j.Finished.Before(cutoff)) {
+			delete(s.jobs, id)
+			delete(s.done, id)
+			removed++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+	return removed
+}
+
+// Wait blocks until every submitted job has finished. Tests and
+// graceful shutdown use it; new submissions during the wait are
+// included.
+func (s *Store) Wait() { s.wg.Wait() }
+
+// Close cancels the store's context (stopping in-flight jobs at their
+// next cancellation point) and waits for them to drain.
+func (s *Store) Close() {
+	s.cancel()
+	s.wg.Wait()
+}

@@ -67,6 +67,53 @@ func ByName(name string) (Spec, error) {
 	return Spec{}, fmt.Errorf("iscas: unknown benchmark %q", name)
 }
 
+// Load instantiates any named circuit this package can produce: a
+// generated suite benchmark ("c432", "Adder16", "fpd", …), the genuine
+// embedded "c17", or a structural ripple-carry adder ("rca16" for 16
+// bits, any width). Every call returns a fresh instance. The facade's
+// Benchmark and the batch engine's loader both resolve through here.
+func Load(name string) (*netlist.Circuit, error) {
+	if name == "c17" {
+		return C17(), nil
+	}
+	if n, ok := rcaBits(name); ok {
+		return RippleCarryAdder(n)
+	}
+	spec, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(spec)
+}
+
+// Known reports whether Load can instantiate name, without paying for
+// generation — the cheap pre-validation for batch requests.
+func Known(name string) bool {
+	if name == "c17" {
+		return true
+	}
+	if _, ok := rcaBits(name); ok {
+		return true
+	}
+	_, err := ByName(name)
+	return err == nil
+}
+
+// rcaBits parses an "rcaN" name into its bit width.
+func rcaBits(name string) (int, bool) {
+	if len(name) < 4 || name[:3] != "rca" {
+		return 0, false
+	}
+	n := 0
+	for _, ch := range name[3:] {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		n = n*10 + int(ch-'0')
+	}
+	return n, n > 0
+}
+
 // gate-type distribution of the generated logic, approximating the
 // NAND/NOR/INV mix of technology-mapped ISCAS circuits.
 var typeMix = []struct {

@@ -31,6 +31,7 @@
 //	calib       model calibration against the transistor simulator
 //	wire        fan-out wire-load model and uncertainty sweeps (§2)
 //	le          classic logical effort (ref. [4]) baseline
+//	engine      concurrent batch engine, async job store, HTTP service
 //
 // Quick start:
 //
@@ -41,9 +42,25 @@
 //	bounds, _ := pops.Bounds(model, path)
 //	res, _ := pops.Distribute(model, path, 1.3*bounds.Tmin)
 //	fmt.Printf("area %.1f µm at %.0f ps\n", res.Area, res.Delay)
+//
+// Batch workloads — many constraint points, many circuits — go through
+// the concurrent engine, which shards (circuit, Tc) units over a
+// bounded worker pool and memoizes repeated characterization
+// sub-problems, with results bit-identical to the sequential protocol:
+//
+//	eng, _ := pops.NewEngine(pops.EngineConfig{Workers: 8})
+//	curve, _ := eng.Sweep(ctx, pops.SweepRequest{Circuit: "c880", Points: 11})
+//	for _, pt := range curve.Points {
+//		fmt.Printf("Tc=%.0f ps  area %.1f µm\n", pt.Tc, pt.Area)
+//	}
+//
+// The same engine backs cmd/popsd, a standard-library JSON HTTP daemon
+// (POST /v1/optimize, /v1/sweep, /v1/suite; GET /v1/jobs/{id},
+// /healthz) for serving the optimizer as a long-running service.
 package pops
 
 import (
+	"context"
 	"io"
 	"os"
 
@@ -51,6 +68,7 @@ import (
 	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/delay"
+	"repro/internal/engine"
 	"repro/internal/gate"
 	"repro/internal/iscas"
 	"repro/internal/logic"
@@ -152,33 +170,7 @@ func Benchmarks() []BenchmarkSpec { return iscas.Suite() }
 // Benchmark instantiates a suite benchmark by name ("c432", "Adder16",
 // "fpd", …), the genuine embedded "c17", or a structural ripple-carry
 // adder ("rca16" for 16 bits, any width).
-func Benchmark(name string) (*Circuit, error) {
-	if name == "c17" {
-		return iscas.C17(), nil
-	}
-	if n, ok := rcaBits(name); ok {
-		return iscas.RippleCarryAdder(n)
-	}
-	spec, err := iscas.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	return iscas.Generate(spec)
-}
-
-func rcaBits(name string) (int, bool) {
-	if len(name) < 4 || name[:3] != "rca" {
-		return 0, false
-	}
-	n := 0
-	for _, ch := range name[3:] {
-		if ch < '0' || ch > '9' {
-			return 0, false
-		}
-		n = n*10 + int(ch-'0')
-	}
-	return n, n > 0
-}
+func Benchmark(name string) (*Circuit, error) { return iscas.Load(name) }
 
 // Analyze runs slope-propagating STA over an elaborated circuit.
 func Analyze(c *Circuit, m *Model) (*STAResult, error) {
@@ -273,4 +265,39 @@ func Calibrate(p *Process, types []GateType) (*Calibration, error) {
 // (fF). Optimization after this reflects pre-layout loading.
 func ApplyWireLoads(c *Circuit) (float64, error) {
 	return wire.Apply(c, wire.Default025())
+}
+
+// Concurrent batch-engine types, re-exported from internal/engine.
+type (
+	// Engine is the concurrent batch optimizer: a bounded worker pool
+	// plus a shared characterization cache.
+	Engine = engine.Engine
+	// EngineConfig parameterizes NewEngine.
+	EngineConfig = engine.Config
+	// OptimizeRequest is one (circuit, Tc) engine job.
+	OptimizeRequest = engine.OptimizeRequest
+	// OptimizeResult reports one optimized circuit.
+	OptimizeResult = engine.OptimizeResult
+	// SweepRequest asks for a Tc-grid trade-off curve.
+	SweepRequest = engine.SweepRequest
+	// Sweep is the completed area/delay trade-off curve.
+	Sweep = engine.Sweep
+	// SweepPoint is one Tc point of a Sweep.
+	SweepPoint = engine.SweepPoint
+	// SuiteRequest asks for a benchmark×ratio batch run.
+	SuiteRequest = engine.SuiteRequest
+	// SuiteResult is a completed batch run.
+	SuiteResult = engine.SuiteResult
+	// EngineServer is the popsd JSON HTTP service over an Engine.
+	EngineServer = engine.Server
+)
+
+// NewEngine builds a concurrent batch engine. A zero config selects
+// GOMAXPROCS workers on the default process corner.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// NewEngineServer wires the popsd HTTP service (an http.Handler) over
+// an engine; jobs submitted through it run under ctx.
+func NewEngineServer(ctx context.Context, e *Engine) *EngineServer {
+	return engine.NewServer(ctx, e)
 }
