@@ -7,6 +7,7 @@
 //	pops bounds   (-bench file.bench | -circuit c432)
 //	pops optimize (-bench file.bench | -circuit c432) -tc 2500
 //	pops optimize -circuit c432 -ratio 1.3          # Tc = 1.3 × Tmin
+//	pops leakage  -circuit c432 -ratio 1.4          # optimize + multi-Vt assignment
 //	pops slack    -circuit c880 -ratio 1.2          # required times / slacks
 //	pops power    (-bench file.bench | -circuit c432)
 //	pops report   (-bench file.bench | -circuit c432)  # combined summary
@@ -20,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -52,7 +54,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pops <analyze|bounds|optimize|report|slack|power|flimit|calibrate|list> [flags]
+	fmt.Fprintln(os.Stderr, `usage: pops <analyze|bounds|optimize|leakage|report|slack|power|flimit|calibrate|list> [flags]
 run "pops <command> -h" for command flags`)
 }
 
@@ -196,6 +198,42 @@ func run(w io.Writer, cmd, benchFile, circuit string, tc, ratio float64, k int) 
 			fmt.Fprintf(w, "  round %d: domain=%s method=%s delay=%.1f area=%.1f\n",
 				i+1, po.Domain, po.Method, po.Delay, po.Area)
 		}
+		return nil
+
+	case "leakage":
+		pa, _, err := pops.CriticalPath(c, model)
+		if err != nil {
+			return err
+		}
+		if tc == 0 {
+			if ratio == 0 {
+				return fmt.Errorf("leakage needs -tc or -ratio")
+			}
+			b, err := pops.Bounds(model, pa.Clone())
+			if err != nil {
+				return err
+			}
+			tc = ratio * b.Tmin
+		}
+		proto, err := pops.NewProtocol(pops.ProtocolConfig{Model: model})
+		if err != nil {
+			return err
+		}
+		out, err := proto.OptimizeWithLeakage(context.Background(), c, tc, pops.LeakageOptions{})
+		if err != nil {
+			return err
+		}
+		lr := out.Leakage
+		fmt.Fprintf(w, "constraint: %.1f ps\n", tc)
+		fmt.Fprintf(w, "result: delay %.1f ps, circuit area %.1f µm, feasible=%v\n",
+			out.Delay, out.Area, out.Feasible)
+		fmt.Fprintf(w, "multi-Vt: %d of %d candidates promoted\n", lr.Promoted, lr.Considered)
+		t := report.NewTable("Vt census", "Class", "Gates")
+		for _, cls := range []pops.VtClass{pops.LVT, pops.SVT, pops.HVT} {
+			t.AddRow(cls.String(), lr.ByClass[cls])
+		}
+		fmt.Fprint(w, t.String())
+		fmt.Fprint(w, report.PowerBreakdown(lr.DynamicUW, lr.StaticBeforeUW, lr.StaticAfterUW).String())
 		return nil
 
 	case "power":

@@ -51,6 +51,14 @@ func TestReportGolden(t *testing.T) {
 	golden(t, "report_fpd", "report", "fpd", 0, 0, 3)
 }
 
+func TestLeakageGolden(t *testing.T) {
+	golden(t, "leakage_fpd", "leakage", "fpd", 0, 1.5, 3)
+}
+
+func TestLeakageHardGolden(t *testing.T) {
+	golden(t, "leakage_c432_hard", "leakage", "c432", 0, 1.1, 3)
+}
+
 func TestListGolden(t *testing.T) {
 	golden(t, "list", "list", "", 0, 0, 3)
 }
@@ -64,6 +72,10 @@ func TestRunErrors(t *testing.T) {
 	if err := run(&buf, "optimize", "", "fpd", 0, 0, 3); err == nil ||
 		!strings.Contains(err.Error(), "-tc or -ratio") {
 		t.Fatalf("optimize without constraint: %v", err)
+	}
+	if err := run(&buf, "leakage", "", "fpd", 0, 0, 3); err == nil ||
+		!strings.Contains(err.Error(), "-tc or -ratio") {
+		t.Fatalf("leakage without constraint: %v", err)
 	}
 	if err := run(&buf, "analyze", "", "", 0, 0, 3); err == nil ||
 		!strings.Contains(err.Error(), "-bench or -circuit") {

@@ -15,7 +15,10 @@
 //	GET  /v1/jobs/{id}
 //
 // POSTs enqueue async jobs and answer 202 with a job ID for polling;
-// add "wait": true to block for the result.
+// add "wait": true to block for the result. Every POST also accepts
+// "leakage": true to run the multi-Vt leakage pass after sizing and
+// report the dynamic/leakage/total power split. See docs/API.md for
+// the full request/response reference.
 package main
 
 import (

@@ -1,0 +1,167 @@
+package pops_test
+
+// The documentation gate, run by CI as part of the normal test suite
+// and by the dedicated docs job: every package must carry a package
+// comment, every exported identifier of the facade must be documented,
+// and every relative link in the repository's markdown files must
+// resolve. The gate keeps the docs/ pages and the README from rotting
+// as the codebase grows.
+
+import (
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// goPackageDirs returns every directory under root holding a Go
+// package of this module (skipping testdata and hidden directories).
+func goPackageDirs(t *testing.T) []string {
+	t.Helper()
+	var dirs []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		files, globErr := filepath.Glob(filepath.Join(path, "*.go"))
+		if globErr != nil {
+			return globErr
+		}
+		for _, f := range files {
+			if !strings.HasSuffix(f, "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+// TestDocsPackageComments fails on any package (root, internal/*,
+// cmd/*, examples/*) whose non-test files carry no package doc
+// comment.
+func TestDocsPackageComments(t *testing.T) {
+	for _, dir := range goPackageDirs(t) {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (in %s) has no package doc comment", name, dir)
+			}
+		}
+	}
+}
+
+// TestDocsFacadeExported fails on any exported identifier of the pops
+// facade (the repository root package) lacking a doc comment — the
+// facade is the public API surface, so every name must explain itself
+// in godoc.
+func TestDocsFacadeExported(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["pops"]
+	if !ok {
+		t.Fatal("root package pops not found")
+	}
+	d := doc.New(pkg, "repro", 0)
+	check := func(kind, name string, docText string) {
+		if ast.IsExported(name) && strings.TrimSpace(docText) == "" {
+			t.Errorf("facade %s %s has no doc comment", kind, name)
+		}
+	}
+	for _, v := range d.Consts {
+		if strings.TrimSpace(v.Doc) == "" {
+			t.Errorf("facade const group %v has no doc comment", v.Names)
+		}
+	}
+	for _, v := range d.Vars {
+		if strings.TrimSpace(v.Doc) == "" {
+			t.Errorf("facade var group %v has no doc comment", v.Names)
+		}
+	}
+	for _, ty := range d.Types {
+		check("type", ty.Name, ty.Doc)
+		for _, fn := range ty.Funcs {
+			check("func", fn.Name, fn.Doc)
+		}
+		for _, m := range ty.Methods {
+			check("method", ty.Name+"."+m.Name, m.Doc)
+		}
+	}
+	for _, fn := range d.Funcs {
+		check("func", fn.Name, fn.Doc)
+	}
+}
+
+// mdLink matches inline markdown links; the first group is the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinks resolves every relative link in the repository's
+// markdown files (root *.md and docs/*.md): the target file must
+// exist. External links (http, https, mailto) are skipped.
+func TestDocsLinks(t *testing.T) {
+	var files []string
+	for _, pat := range []string{"*.md", "docs/*.md"} {
+		hits, err := filepath.Glob(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, hits...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	for _, file := range files {
+		buf, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(buf), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%s does not exist)", file, m[1], resolved)
+			}
+		}
+	}
+}

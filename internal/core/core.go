@@ -28,6 +28,7 @@ import (
 	"repro/internal/buffering"
 	"repro/internal/delay"
 	"repro/internal/gate"
+	"repro/internal/leakage"
 	"repro/internal/netlist"
 	"repro/internal/restructure"
 	"repro/internal/sizing"
@@ -249,6 +250,10 @@ type CircuitOutcome struct {
 	Buffers      int // inverter pairs inserted
 	NorRewrites  int // NOR gates replaced by NAND duals
 	PathOutcomes []*PathOutcome
+
+	// Leakage reports the selective Vt-assignment pass when the run
+	// was leakage-aware (OptimizeWithLeakage); nil otherwise.
+	Leakage *leakage.Result
 }
 
 // StepResult reports one round of the circuit driver (one
@@ -398,6 +403,34 @@ func (p *Protocol) OptimizeCircuitContext(ctx context.Context, c *netlist.Circui
 	if err := p.Summarize(c, out); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// OptimizeWithLeakage runs the full protocol and then the selective
+// multi-Vt assignment pass of internal/leakage: gates on non-critical
+// paths are promoted to higher-threshold devices, each move verified by
+// incremental STA against Tc, cutting subthreshold leakage at zero
+// area and zero dynamic-power cost. The outcome's Delay and Feasible
+// reflect the final Vt-aware timing; its Leakage field carries the
+// power breakdown (dynamic, leakage before/after, total).
+//
+// A zero opts is the default policy: promote as far as HVT, default
+// power-simulation vectors, and the protocol's own STA configuration.
+func (p *Protocol) OptimizeWithLeakage(ctx context.Context, c *netlist.Circuit, tc float64, opts leakage.Options) (*CircuitOutcome, error) {
+	out, err := p.OptimizeCircuitContext(ctx, c, tc)
+	if err != nil {
+		return nil, err
+	}
+	if opts.STA == (sta.Config{}) {
+		opts.STA = p.cfg.STA
+	}
+	lr, err := leakage.Assign(ctx, c, p.cfg.Model, tc, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.Leakage = lr
+	out.Delay = lr.Delay
+	out.Feasible = lr.Delay <= tc
 	return out, nil
 }
 

@@ -1,0 +1,61 @@
+package delay
+
+import (
+	"repro/internal/gate"
+	"repro/internal/tech"
+)
+
+// Vt-aware evaluation of the closed-form model. A non-SVT device shifts
+// the reduced threshold of the eq. (1) slope term by ΔVT and scales the
+// eq. (2) output transition by the inverse of the alpha-power drive
+// ratio (a high-Vt gate switches less current, so its edges are slower).
+// Every function delegates to its SVT counterpart bit-exactly when the
+// class is SVT, so circuits that never leave the default class produce
+// byte-identical timing to the pre-multi-Vt model — the invariant the
+// engine's equivalence tests rely on.
+
+// TransitionHLVt returns the falling output transition time (ps) of
+// cell c at Vt class v.
+func (m *Model) TransitionHLVt(c gate.Cell, cin, cl float64, v tech.VtClass) float64 {
+	t := m.TransitionHL(c, cin, cl)
+	if v != tech.SVT {
+		t /= m.Proc.VtDriveN(v)
+	}
+	return t
+}
+
+// TransitionLHVt returns the rising output transition time (ps) of
+// cell c at Vt class v.
+func (m *Model) TransitionLHVt(c gate.Cell, cin, cl float64, v tech.VtClass) float64 {
+	t := m.TransitionLH(c, cin, cl)
+	if v != tech.SVT {
+		t /= m.Proc.VtDriveP(v)
+	}
+	return t
+}
+
+// GateDelayHLVt returns the eq. (1) falling-output delay (ps) of cell c
+// at Vt class v: input rising with transition time tauInLH, load cl.
+func (m *Model) GateDelayHLVt(c gate.Cell, cin, cl, tauInLH float64, v tech.VtClass) float64 {
+	if v == tech.SVT {
+		return m.GateDelayHL(c, cin, cl, tauInLH)
+	}
+	t := m.millerFactor(m.Proc.MillerHL(), cin, cl) / 2 * m.TransitionHLVt(c, cin, cl, v)
+	if m.SlopeEffect {
+		t += m.Proc.VtShiftN(v) / 2 * tauInLH
+	}
+	return t
+}
+
+// GateDelayLHVt returns the eq. (1) rising-output delay (ps) of cell c
+// at Vt class v: input falling with transition time tauInHL, load cl.
+func (m *Model) GateDelayLHVt(c gate.Cell, cin, cl, tauInHL float64, v tech.VtClass) float64 {
+	if v == tech.SVT {
+		return m.GateDelayLH(c, cin, cl, tauInHL)
+	}
+	t := m.millerFactor(m.Proc.MillerLH(), cin, cl) / 2 * m.TransitionLHVt(c, cin, cl, v)
+	if m.SlopeEffect {
+		t += m.Proc.VtShiftP(v) / 2 * tauInHL
+	}
+	return t
+}

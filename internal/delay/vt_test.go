@@ -1,0 +1,76 @@
+package delay
+
+import (
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/tech"
+)
+
+func TestVtDelegatesExactlyAtSVT(t *testing.T) {
+	m := NewModel(tech.CMOS025())
+	inv := gate.MustLookup(gate.Inv)
+	nand := gate.MustLookup(gate.Nand3)
+	for _, c := range []gate.Cell{inv, nand} {
+		cin, cl, tau := 3.4, 21.0, 55.0
+		if m.GateDelayHLVt(c, cin, cl, tau, tech.SVT) != m.GateDelayHL(c, cin, cl, tau) {
+			t.Fatalf("%v: HL delay at SVT diverged from the base model", c.Type)
+		}
+		if m.GateDelayLHVt(c, cin, cl, tau, tech.SVT) != m.GateDelayLH(c, cin, cl, tau) {
+			t.Fatalf("%v: LH delay at SVT diverged from the base model", c.Type)
+		}
+		if m.TransitionHLVt(c, cin, cl, tech.SVT) != m.TransitionHL(c, cin, cl) {
+			t.Fatalf("%v: HL transition at SVT diverged", c.Type)
+		}
+		if m.TransitionLHVt(c, cin, cl, tech.SVT) != m.TransitionLH(c, cin, cl) {
+			t.Fatalf("%v: LH transition at SVT diverged", c.Type)
+		}
+	}
+}
+
+func TestVtDelayOrdering(t *testing.T) {
+	m := NewModel(tech.CMOS025())
+	c := gate.MustLookup(gate.Nand2)
+	cin, cl, tau := 2.0, 15.0, 40.0
+	lvt := m.GateDelayHLVt(c, cin, cl, tau, tech.LVT)
+	svt := m.GateDelayHLVt(c, cin, cl, tau, tech.SVT)
+	hvt := m.GateDelayHLVt(c, cin, cl, tau, tech.HVT)
+	if !(lvt < svt && svt < hvt) {
+		t.Fatalf("HL delay ordering broken: lvt %v svt %v hvt %v", lvt, svt, hvt)
+	}
+	lvt = m.GateDelayLHVt(c, cin, cl, tau, tech.LVT)
+	svt = m.GateDelayLHVt(c, cin, cl, tau, tech.SVT)
+	hvt = m.GateDelayLHVt(c, cin, cl, tau, tech.HVT)
+	if !(lvt < svt && svt < hvt) {
+		t.Fatalf("LH delay ordering broken: lvt %v svt %v hvt %v", lvt, svt, hvt)
+	}
+}
+
+func TestVtTransitionScalesWithDrive(t *testing.T) {
+	p := tech.CMOS025()
+	m := NewModel(p)
+	c := gate.MustLookup(gate.Inv)
+	base := m.TransitionHL(c, 2.0, 20.0)
+	hvt := m.TransitionHLVt(c, 2.0, 20.0, tech.HVT)
+	if got, want := hvt, base/p.VtDriveN(tech.HVT); got != want {
+		t.Fatalf("HVT transition %v, want %v", got, want)
+	}
+	if hvt <= base {
+		t.Fatal("HVT transition must be slower than SVT")
+	}
+}
+
+// TestVtHVTPenaltyModerate pins the speed cost of a promotion to the
+// band the selective methodology assumes: an HVT gate is slower, but by
+// tens of percent, not multiples — otherwise non-critical slack could
+// never absorb it.
+func TestVtHVTPenaltyModerate(t *testing.T) {
+	m := NewModel(tech.CMOS025())
+	c := gate.MustLookup(gate.Inv)
+	base := m.GateDelayHLVt(c, 2.0, 20.0, 30.0, tech.SVT)
+	hvt := m.GateDelayHLVt(c, 2.0, 20.0, 30.0, tech.HVT)
+	ratio := hvt / base
+	if ratio < 1.02 || ratio > 1.6 {
+		t.Fatalf("HVT/SVT delay ratio %v outside the moderate-penalty band", ratio)
+	}
+}

@@ -1,15 +1,19 @@
 // Characterization cache: the engine memoizes every reusable
 // sub-problem of the protocol — the library Flimit table of a process
 // corner (the Fig. 7 "library characterization" step, shared by every
-// job on that corner) and the Tmin/Tmax delay bounds of a path (shared
-// by every Tc point of a sweep and by repeated submissions of the same
-// circuit). Entries are computed once under a per-key latch, so
+// job on that corner), the Tmin/Tmax delay bounds of a path (shared by
+// every Tc point of a sweep and by repeated submissions of the same
+// circuit), and whole (circuit, Tc, leakage-policy) task results
+// (shared by repeated submissions — the common case for a long-running
+// daemon). Entries are computed once under a per-key latch, so
 // concurrent workers hitting the same key block on one computation
 // instead of duplicating it.
 package engine
 
 import (
+	"context"
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"math"
 	"sync"
@@ -17,6 +21,7 @@ import (
 	"repro/internal/buffering"
 	"repro/internal/delay"
 	"repro/internal/gate"
+	"repro/internal/leakage"
 	"repro/internal/sizing"
 )
 
@@ -27,6 +32,11 @@ type Cache struct {
 	mu     sync.Mutex
 	limits map[string]*limitsEntry
 	bounds map[string]*boundsEntry
+
+	// Result memoization: completed optimization tasks keyed by
+	// (process, circuit, Tc, ratio, leakage policy), bounded FIFO.
+	results     map[string]*resultEntry
+	resultOrder []string
 }
 
 // limitsEntry latches one library characterization (Flimit table rows
@@ -44,11 +54,26 @@ type boundsEntry struct {
 	err        error
 }
 
+// resultEntry latches one completed optimization task. done is closed
+// when the computation finishes; waiters then read res/err without a
+// lock (single write happens-before the close).
+type resultEntry struct {
+	done chan struct{}
+	res  *OptimizeResult
+	err  error
+}
+
+// MaxResultEntries bounds the result memo; beyond it the oldest entry
+// is evicted (FIFO — with deterministic results, re-deriving an
+// evicted entry is harmless).
+const MaxResultEntries = 4096
+
 // NewCache returns an empty characterization cache.
 func NewCache() *Cache {
 	return &Cache{
-		limits: make(map[string]*limitsEntry),
-		bounds: make(map[string]*boundsEntry),
+		limits:  make(map[string]*limitsEntry),
+		bounds:  make(map[string]*boundsEntry),
+		results: make(map[string]*resultEntry),
 	}
 }
 
@@ -100,6 +125,87 @@ func (ca *Cache) Bounds(m *delay.Model, pa *delay.Path, opts sizing.Options) (tm
 		e.tmin = r.Delay
 	})
 	return e.tmin, e.tmax, e.err
+}
+
+// Result returns the memoized outcome of one optimization task,
+// computing it at most once per key across all workers of the engine.
+// Concurrent callers with the same key block on the first computation
+// (their own pool slots stay held, but the latch never waits on a
+// slot, so the pool cannot deadlock). Failed computations are evicted
+// immediately and never latched, so a cancelled context does not
+// poison the key; a waiter that observes another caller's failure
+// retries with its own computation rather than inheriting an error —
+// such as a cancellation — that belongs to someone else's context.
+// Waiting itself is cancellable: a waiter whose own ctx expires
+// returns immediately (releasing its pool slot) instead of blocking
+// for the duration of someone else's computation.
+func (ca *Cache) Result(ctx context.Context, key string, compute func() (*OptimizeResult, error)) (*OptimizeResult, error) {
+	for {
+		ca.mu.Lock()
+		e, ok := ca.results[key]
+		if !ok {
+			break // compute it ourselves, mu still held
+		}
+		ca.mu.Unlock()
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err == nil {
+			return e.res, nil
+		}
+		// The computing caller failed (its entry is already evicted);
+		// loop and run our own computation under our own context.
+	}
+	e := &resultEntry{done: make(chan struct{})}
+	ca.results[key] = e
+	ca.resultOrder = append(ca.resultOrder, key)
+	if len(ca.resultOrder) > MaxResultEntries {
+		oldest := ca.resultOrder[0]
+		ca.resultOrder = ca.resultOrder[1:]
+		delete(ca.results, oldest)
+	}
+	ca.mu.Unlock()
+
+	e.res, e.err = compute()
+	if e.err != nil {
+		ca.mu.Lock()
+		if ca.results[key] == e {
+			delete(ca.results, key)
+			for i, k := range ca.resultOrder {
+				if k == key {
+					ca.resultOrder = append(ca.resultOrder[:i], ca.resultOrder[i+1:]...)
+					break
+				}
+			}
+		}
+		ca.mu.Unlock()
+	}
+	close(e.done)
+	return e.res, e.err
+}
+
+// resultKey spells out one (process, request, leakage policy) task as
+// a delimited string — the components themselves, not a hash, so
+// distinct tasks can never collide into each other's memo entry.
+// Floats are keyed by their exact bit patterns. The leakage policy is
+// part of the key only when the request's flag is on, so retuning the
+// engine-wide policy never aliases dynamic-only entries.
+func resultKey(proc string, req OptimizeRequest, pol leakage.Options) string {
+	key := fmt.Sprintf("%s|%s|%x|%x", proc, req.Circuit,
+		math.Float64bits(req.Tc), math.Float64bits(req.Ratio))
+	if !req.Leakage {
+		return key + "|dyn"
+	}
+	return key + fmt.Sprintf("|leak|%x|%d|%d|%x|%x|%v|%d",
+		math.Float64bits(pol.Power.FrequencyMHz),
+		pol.Power.Vectors,
+		pol.Power.Seed,
+		math.Float64bits(pol.Power.InputActivity),
+		math.Float64bits(pol.STA.InputTau),
+		pol.CapAtSVT,
+		pol.MaxPromotions)
 }
 
 // PathSignature returns a stable fingerprint of a path's optimization

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/delay"
 	"repro/internal/iscas"
+	"repro/internal/leakage"
 	"repro/internal/netlist"
 	"repro/internal/sizing"
 	"repro/internal/sta"
@@ -50,6 +51,10 @@ type Config struct {
 	// MaxRounds bounds the per-circuit optimize-worst-path iterations
 	// (default: the core driver's 12).
 	MaxRounds int
+	// Leakage is the engine-wide multi-Vt policy applied to requests
+	// that set their Leakage flag (power-simulation vectors, promotion
+	// ceiling). It is part of the result-memoization key.
+	Leakage leakage.Options
 }
 
 // Engine is a concurrent batch optimizer. It is safe for concurrent
@@ -163,6 +168,10 @@ type OptimizeRequest struct {
 	// Ratio expresses Tc as a multiple of the critical path's Tmin;
 	// used when Tc is zero (default 1.4).
 	Ratio float64 `json:"ratio,omitempty"`
+	// Leakage requests the leakage-aware protocol: after sizing, the
+	// selective multi-Vt pass promotes non-critical gates to higher
+	// thresholds under the engine's leakage policy.
+	Leakage bool `json:"leakage,omitempty"`
 }
 
 // OptimizeResult reports one optimized circuit.
@@ -203,18 +212,35 @@ type pathBounds struct {
 }
 
 // optimizeTask is the worker body shared by Optimize, Sweep and Suite.
-// It must be called from a pool slot. c overrides circuit loading when
-// the caller pre-cloned a netlist; tb skips the critical-path
-// extraction and bounds solve when the caller already has them.
-func (e *Engine) optimizeTask(ctx context.Context, req OptimizeRequest, c *netlist.Circuit, tb *pathBounds) (*OptimizeResult, error) {
+// It must be called from a pool slot. instantiate overrides circuit
+// loading when the caller derives netlists from a shared master (it is
+// only invoked on a memo miss, so cached hits never pay for a clone);
+// tb skips the critical-path extraction and bounds solve when the
+// caller already has them.
+//
+// The whole task is memoized through the shared cache, keyed by
+// (circuit, Tc, ratio, leakage policy): repeated submissions of the
+// same unit — the common case for a long-running daemon, and for suite
+// cells overlapping earlier sweeps — return the completed result
+// without recomputation. Determinism makes the memo transparent: a hit
+// is byte-identical to a fresh computation.
+func (e *Engine) optimizeTask(ctx context.Context, req OptimizeRequest, instantiate func() *netlist.Circuit, tb *pathBounds) (*OptimizeResult, error) {
+	return e.cache.Result(ctx, resultKey(e.model.Proc.Name, req, e.cfg.Leakage), func() (*OptimizeResult, error) {
+		return e.computeTask(ctx, req, instantiate, tb)
+	})
+}
+
+// computeTask is the uncached task body behind optimizeTask.
+func (e *Engine) computeTask(ctx context.Context, req OptimizeRequest, instantiate func() *netlist.Circuit, tb *pathBounds) (*OptimizeResult, error) {
 	proto, err := e.protocol()
 	if err != nil {
 		return nil, err
 	}
-	if c == nil {
-		if c, err = loadCircuit(req.Circuit); err != nil {
-			return nil, err
-		}
+	var c *netlist.Circuit
+	if instantiate != nil {
+		c = instantiate()
+	} else if c, err = loadCircuit(req.Circuit); err != nil {
+		return nil, err
 	}
 	if tb == nil {
 		pa, _, err := sta.CriticalPath(c, e.model, e.cfg.STA)
@@ -236,7 +262,12 @@ func (e *Engine) optimizeTask(ctx context.Context, req OptimizeRequest, c *netli
 		tc = ratio * tb.tmin
 	}
 
-	out, err := proto.OptimizeCircuitContext(ctx, c, tc)
+	var out *core.CircuitOutcome
+	if req.Leakage {
+		out, err = proto.OptimizeWithLeakage(ctx, c, tc, e.cfg.Leakage)
+	} else {
+		out, err = proto.OptimizeCircuitContext(ctx, c, tc)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +290,9 @@ type SweepRequest struct {
 	// Points is the grid size (default 11: ratio steps of 0.1; at
 	// most MaxSweepPoints).
 	Points int `json:"points,omitempty"`
+	// Leakage makes every point a leakage-aware run (multi-Vt
+	// assignment after sizing) under the engine's leakage policy.
+	Leakage bool `json:"leakage,omitempty"`
 }
 
 // Fan-out bounds: requests arrive from the network (popsd), so grid
@@ -279,6 +313,34 @@ type SweepPoint struct {
 	Feasible bool    `json:"feasible"`
 	Rounds   int     `json:"rounds"`
 	Buffers  int     `json:"buffers"`
+	// Leakage is present exactly when the point was a leakage-aware
+	// run — a run that promoted zero gates still carries the block, so
+	// it is never confused with a dynamic-only point.
+	Leakage *RowPower `json:"leakage,omitempty"`
+}
+
+// RowPower is the per-row power split of a leakage-aware sweep point
+// or suite cell (µW).
+type RowPower struct {
+	Promoted      int     `json:"promoted"`
+	DynamicUW     float64 `json:"dynamicUW"`
+	LeakageUW     float64 `json:"leakageUW"` // after assignment
+	TotalUW       float64 `json:"totalUW"`
+	TotalBeforeUW float64 `json:"totalBeforeUW"`
+}
+
+// rowPower flattens a leakage result for a sweep/suite row; nil in.
+func rowPower(lr *leakage.Result) *RowPower {
+	if lr == nil {
+		return nil
+	}
+	return &RowPower{
+		Promoted:      lr.Promoted,
+		DynamicUW:     lr.DynamicUW,
+		LeakageUW:     lr.StaticAfterUW,
+		TotalUW:       lr.TotalAfterUW,
+		TotalBeforeUW: lr.TotalBeforeUW,
+	}
 }
 
 // Sweep is a completed trade-off curve, points ordered by rising Tc.
@@ -320,7 +382,7 @@ func (e *Engine) Sweep(ctx context.Context, req SweepRequest) (*Sweep, error) {
 	bounds := &pathBounds{tmin: tmin, tmax: tmax}
 	err = e.fanOut(ctx, points, func(i int) error {
 		ratio := 1.0 + float64(i)/float64(points-1)
-		r, err := e.optimizeTask(ctx, OptimizeRequest{Circuit: req.Circuit, Tc: ratio * tmin}, master.Clone(), bounds)
+		r, err := e.optimizeTask(ctx, OptimizeRequest{Circuit: req.Circuit, Tc: ratio * tmin, Leakage: req.Leakage}, master.Clone, bounds)
 		if err != nil {
 			return err
 		}
@@ -332,6 +394,7 @@ func (e *Engine) Sweep(ctx context.Context, req SweepRequest) (*Sweep, error) {
 			Feasible: r.Outcome.Feasible,
 			Rounds:   r.Outcome.Rounds,
 			Buffers:  r.Outcome.Buffers,
+			Leakage:  rowPower(r.Outcome.Leakage),
 		}
 		return nil
 	})
@@ -348,6 +411,9 @@ type SuiteRequest struct {
 	Benchmarks []string `json:"benchmarks,omitempty"`
 	// Ratios lists Tc/Tmin constraint points (default {1.2, 1.5, 2.0}).
 	Ratios []float64 `json:"ratios,omitempty"`
+	// Leakage makes every cell a leakage-aware run (multi-Vt
+	// assignment after sizing) under the engine's leakage policy.
+	Leakage bool `json:"leakage,omitempty"`
 }
 
 // SuiteRow is one (benchmark, ratio) cell of a suite run.
@@ -361,6 +427,9 @@ type SuiteRow struct {
 	Feasible bool    `json:"feasible"`
 	Rounds   int     `json:"rounds"`
 	Buffers  int     `json:"buffers"`
+	// Leakage is present exactly when the cell was a leakage-aware
+	// run (see SweepPoint.Leakage).
+	Leakage *RowPower `json:"leakage,omitempty"`
 }
 
 // SuiteResult is a completed suite run, rows ordered benchmark-major.
@@ -395,7 +464,7 @@ func (e *Engine) Suite(ctx context.Context, req SuiteRequest) (*SuiteResult, err
 	rows := make([]SuiteRow, len(names)*len(ratios))
 	err := e.fanOut(ctx, len(rows), func(i int) error {
 		name, ratio := names[i/len(ratios)], ratios[i%len(ratios)]
-		r, err := e.optimizeTask(ctx, OptimizeRequest{Circuit: name, Ratio: ratio}, nil, nil)
+		r, err := e.optimizeTask(ctx, OptimizeRequest{Circuit: name, Ratio: ratio, Leakage: req.Leakage}, nil, nil)
 		if err != nil {
 			return fmt.Errorf("%s@%.2f: %w", name, ratio, err)
 		}
@@ -409,6 +478,7 @@ func (e *Engine) Suite(ctx context.Context, req SuiteRequest) (*SuiteResult, err
 			Feasible: r.Outcome.Feasible,
 			Rounds:   r.Outcome.Rounds,
 			Buffers:  r.Outcome.Buffers,
+			Leakage:  rowPower(r.Outcome.Leakage),
 		}
 		return nil
 	})

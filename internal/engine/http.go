@@ -184,6 +184,20 @@ type OptimizeWire struct {
 	Buffers     int        `json:"buffers"`
 	NorRewrites int        `json:"norRewrites"`
 	Paths       []PathWire `json:"paths,omitempty"`
+	// Leakage reports the multi-Vt pass of a leakage-aware run.
+	Leakage *LeakageWire `json:"leakage,omitempty"`
+}
+
+// LeakageWire is the JSON shape of a multi-Vt assignment result.
+type LeakageWire struct {
+	Promoted       int            `json:"promoted"`
+	ByClass        map[string]int `json:"byClass"`
+	DynamicUW      float64        `json:"dynamicUW"`
+	StaticBeforeUW float64        `json:"staticBeforeUW"`
+	StaticAfterUW  float64        `json:"staticAfterUW"`
+	TotalBeforeUW  float64        `json:"totalBeforeUW"`
+	TotalAfterUW   float64        `json:"totalAfterUW"`
+	SavingPct      float64        `json:"savingPct"`
 }
 
 // PathWire is one protocol round in an OptimizeWire.
@@ -214,6 +228,22 @@ func wireOptimize(r *OptimizeResult) OptimizeWire {
 		Rounds:      r.Outcome.Rounds,
 		Buffers:     r.Outcome.Buffers,
 		NorRewrites: r.Outcome.NorRewrites,
+	}
+	if lr := r.Outcome.Leakage; lr != nil {
+		w := &LeakageWire{
+			Promoted:       lr.Promoted,
+			ByClass:        make(map[string]int, len(lr.ByClass)),
+			DynamicUW:      lr.DynamicUW,
+			StaticBeforeUW: lr.StaticBeforeUW,
+			StaticAfterUW:  lr.StaticAfterUW,
+			TotalBeforeUW:  lr.TotalBeforeUW,
+			TotalAfterUW:   lr.TotalAfterUW,
+			SavingPct:      lr.SavingPct,
+		}
+		for cls, n := range lr.ByClass {
+			w.ByClass[cls.String()] = n
+		}
+		o.Leakage = w
 	}
 	for _, po := range r.Outcome.PathOutcomes {
 		o.Paths = append(o.Paths, PathWire{

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/gate"
+	"repro/internal/tech"
 )
 
 // Node is a vertex of the circuit DAG: a primary input, a primary
@@ -40,6 +41,14 @@ type Node struct {
 	// CWire is a fixed extra capacitance on the node's output net in
 	// fF, modelling routing parasitics.
 	CWire float64
+
+	// Vt is the threshold class of the cell (multi-Vt processes). The
+	// zero value is tech.SVT, the standard device, so circuits that
+	// never run the leakage pass time exactly as before. Changing Vt
+	// does not alter CIn: a Vt swap is a channel-implant change at
+	// constant footprint, which is what makes post-sizing selective
+	// assignment area-free.
+	Vt tech.VtClass
 }
 
 // IsLogic reports whether the node is a sizable logic cell.
@@ -207,6 +216,9 @@ func (c *Circuit) Validate() error {
 			if n.CIn < 0 {
 				return fmt.Errorf("netlist %s: gate %s has negative input capacitance", c.Name, n.Name)
 			}
+			if !n.Vt.Valid() {
+				return fmt.Errorf("netlist %s: gate %s has invalid Vt class %d", c.Name, n.Name, int(n.Vt))
+			}
 		default:
 			return fmt.Errorf("netlist %s: node %s has invalid type %v", c.Name, n.Name, n.Type)
 		}
@@ -302,7 +314,7 @@ func (c *Circuit) Clone() *Circuit {
 	d.genSeq = c.genSeq
 	clone := make(map[*Node]*Node, len(c.Nodes))
 	for _, n := range c.Nodes {
-		m := &Node{ID: n.ID, Name: n.Name, Type: n.Type, CIn: n.CIn, CWire: n.CWire}
+		m := &Node{ID: n.ID, Name: n.Name, Type: n.Type, CIn: n.CIn, CWire: n.CWire, Vt: n.Vt}
 		d.Nodes = append(d.Nodes, m)
 		d.byName[m.Name] = m
 		clone[n] = m

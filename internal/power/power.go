@@ -1,15 +1,19 @@
-// Package power estimates the dynamic power of a sized netlist — the
-// quantity the paper's area metric ΣW stands proxy for ("gate sizing
-// is area (power) expensive"). Dynamic power of a CMOS net switching
-// with activity α at frequency f under supply VDD is
+// Package power estimates the dynamic and static power of a sized
+// netlist. Dynamic power is the quantity the paper's area metric ΣW
+// stands proxy for ("gate sizing is area (power) expensive"): a CMOS
+// net switching with activity α at frequency f under supply VDD burns
 //
 //	P = α · C_switched · VDD² · f
 //
 // where C_switched is the total capacitance on the net (sink pins,
-// wire, driver diffusion). Activities are obtained by logic simulation
-// of the netlist under random input vectors (toggle counting), so the
-// estimate reflects the circuit's real signal statistics rather than a
-// flat default.
+// wire, driver diffusion). Static power is the subthreshold leakage of
+// the off network of every gate (static.go), a function of Vt class,
+// gate size and input state — the standby budget the multi-Vt pass of
+// internal/leakage minimizes. Both estimators share one logic
+// simulation of the netlist under random input vectors: toggle counts
+// give the activities, state counts give the output-high
+// probabilities, so every estimate reflects the circuit's real signal
+// statistics rather than a flat default.
 package power
 
 import (
@@ -64,16 +68,18 @@ type Estimate struct {
 	MeanActivity float64
 }
 
-// Activities computes per-net toggle probabilities by simulating the
-// circuit under correlated random vectors: each input flips with
-// probability opts.InputActivity between consecutive cycles. The
-// returned map is keyed by driver node name and gives the probability
-// that the net changes value between consecutive cycles.
-func Activities(c *netlist.Circuit, opts Options) (map[string]float64, error) {
-	o := opts.withDefaults()
+// simulate runs the shared vector simulation: each primary input flips
+// with probability o.InputActivity between consecutive cycles, and the
+// circuit is re-evaluated in topological order. It returns per-node
+// toggle counts (net changed value between consecutive cycles) and
+// high counts (net sampled at logic one), both over o.Vectors cycles —
+// the common substrate of the dynamic (activity) and static
+// (state-probability) estimators. The RNG consumption is part of the
+// deterministic contract: Activities keeps its historical stream.
+func simulate(c *netlist.Circuit, o Options) ([]*netlist.Node, map[*netlist.Node]int, map[*netlist.Node]int, error) {
 	order, err := c.TopoOrder()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
 
@@ -85,8 +91,9 @@ func Activities(c *netlist.Circuit, opts Options) (map[string]float64, error) {
 
 	prev := make(map[*netlist.Node]bool, len(order))
 	toggles := make(map[*netlist.Node]int, len(order))
+	highs := make(map[*netlist.Node]int, len(order))
 
-	eval := func(dst map[*netlist.Node]bool) error {
+	eval := func(dst map[*netlist.Node]bool) {
 		for _, n := range order {
 			switch {
 			case n.Type == gate.Input:
@@ -101,11 +108,8 @@ func Activities(c *netlist.Circuit, opts Options) (map[string]float64, error) {
 				dst[n] = gate.Eval(n.Type, args)
 			}
 		}
-		return nil
 	}
-	if err := eval(prev); err != nil {
-		return nil, err
-	}
+	eval(prev)
 
 	cur := make(map[*netlist.Node]bool, len(order))
 	for v := 0; v < o.Vectors; v++ {
@@ -114,25 +118,75 @@ func Activities(c *netlist.Circuit, opts Options) (map[string]float64, error) {
 				in[n.Name] = !in[n.Name]
 			}
 		}
-		if err := eval(cur); err != nil {
-			return nil, err
-		}
+		eval(cur)
 		for _, n := range order {
 			if cur[n] != prev[n] {
 				toggles[n]++
 			}
+			if cur[n] {
+				highs[n]++
+			}
 			prev[n] = cur[n]
 		}
 	}
+	return order, toggles, highs, nil
+}
 
-	act := make(map[string]float64, len(order))
+// Profile carries both statistics of one vector simulation, keyed by
+// driver node name: toggle probabilities (the dynamic estimator's
+// input) and output-high probabilities (the static estimator's).
+type Profile struct {
+	Activities map[string]float64
+	StateProbs map[string]float64
+}
+
+// SimulateProfile runs the vector simulation once and extracts both
+// statistics — the entry point for callers that need dynamic and
+// static estimates of the same circuit (the multi-Vt pass) without
+// paying for two simulations.
+func SimulateProfile(c *netlist.Circuit, opts Options) (*Profile, error) {
+	o := opts.withDefaults()
+	order, toggles, highs, err := simulate(c, o)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Activities: make(map[string]float64, len(order)),
+		StateProbs: make(map[string]float64, len(order)),
+	}
 	for _, n := range order {
 		if n.Type == gate.Output {
 			continue // the PO pseudo-node mirrors its driver
 		}
-		act[n.Name] = float64(toggles[n]) / float64(o.Vectors)
+		p.Activities[n.Name] = float64(toggles[n]) / float64(o.Vectors)
+		p.StateProbs[n.Name] = float64(highs[n]) / float64(o.Vectors)
 	}
-	return act, nil
+	return p, nil
+}
+
+// Activities computes per-net toggle probabilities by simulating the
+// circuit under correlated random vectors: each input flips with
+// probability opts.InputActivity between consecutive cycles. The
+// returned map is keyed by driver node name and gives the probability
+// that the net changes value between consecutive cycles.
+func Activities(c *netlist.Circuit, opts Options) (map[string]float64, error) {
+	p, err := SimulateProfile(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Activities, nil
+}
+
+// StateProbabilities computes, from the same vector simulation as
+// Activities, the probability of each net resting at logic one — the
+// input-state statistic the subthreshold leakage model weights its two
+// off-network terms with. Keyed by driver node name.
+func StateProbabilities(c *netlist.Circuit, opts Options) (map[string]float64, error) {
+	p, err := SimulateProfile(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.StateProbs, nil
 }
 
 // netCap returns the switched capacitance of node n's output net:
@@ -145,16 +199,23 @@ func netCap(n *netlist.Node) float64 {
 	return c
 }
 
-// Estimate computes the dynamic power of the circuit on corner p.
+// EstimateCircuit computes the dynamic power of the circuit on corner p.
 func EstimateCircuit(c *netlist.Circuit, p *tech.Process, opts Options) (*Estimate, error) {
+	act, err := Activities(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return EstimateCircuitActivities(c, p, opts, act)
+}
+
+// EstimateCircuitActivities is EstimateCircuit on precomputed toggle
+// probabilities — the variant for callers that already simulated the
+// circuit (e.g. through SimulateProfile).
+func EstimateCircuitActivities(c *netlist.Circuit, p *tech.Process, opts Options, act map[string]float64) (*Estimate, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	o := opts.withDefaults()
-	act, err := Activities(c, o)
-	if err != nil {
-		return nil, err
-	}
 	est := &Estimate{ByNet: make(map[string]float64)}
 	var actSum float64
 	var nets int

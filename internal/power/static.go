@@ -1,0 +1,98 @@
+// Static (subthreshold leakage) power model. Whichever way a CMOS gate
+// resolves, one of its two networks is off and leaks: with the output
+// high the pull-down N network is off, with the output low the pull-up
+// P network is off. The per-gate leakage therefore depends on the Vt
+// class (each class carries its own off-current per micron), the gate
+// size (off-current scales with device width), and the input-state
+// probability (which network is off how often). Series stacks leak
+// less — the classic stacking effect — which the model captures by
+// dividing the branch current by the stack depth; parallel branches
+// add.
+package power
+
+import (
+	"repro/internal/gate"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// StaticEstimate is the outcome of a leakage analysis.
+type StaticEstimate struct {
+	// TotalUW is the total subthreshold leakage power in µW.
+	TotalUW float64
+	// ByGate maps gate names to their leakage share in µW.
+	ByGate map[string]float64
+	// ByClass splits the total by Vt class, in µW.
+	ByClass map[tech.VtClass]float64
+	// MeanHigh is the average probability of a net resting high.
+	MeanHigh float64
+}
+
+// GateLeakageUW returns the state-weighted subthreshold leakage power
+// (µW) of one gate: cell personality, per-pin input capacitance cin
+// (fF), Vt class v, and probability pHigh of the output resting at
+// logic one, on corner p.
+//
+// With the output high, every pull-down branch (FanIn/StackN of them)
+// is off and leaks its N off-current suppressed by the series stack
+// depth; with the output low the mirror holds for the pull-up network.
+// A NAND3's single 3-deep N stack thus leaks ~9× less than a NOR3's
+// three parallel N devices — the asymmetry selective Vt assignment
+// exploits gate by gate.
+func GateLeakageUW(cell gate.Cell, cin float64, v tech.VtClass, pHigh float64, p *tech.Process) float64 {
+	w := p.WidthForCap(cin) // per-pin total width, µm
+	wn, wp := p.WN(w), p.WP(w)
+	spec := p.VtSpec(v)
+	branchesN := float64(cell.FanIn) / float64(cell.StackN)
+	branchesP := float64(cell.FanIn) / float64(cell.StackP)
+	iOffN := spec.ILeakN * wn * branchesN / float64(cell.StackN) // nA
+	iOffP := spec.ILeakP * wp * branchesP / float64(cell.StackP)
+	// nA × V = nW; divide by 1000 for µW.
+	return (pHigh*iOffN + (1-pHigh)*iOffP) * p.VDD / 1000
+}
+
+// EstimateStatic computes the subthreshold leakage power of the
+// circuit on corner p, simulating opts.Vectors random vectors for the
+// input-state probabilities.
+func EstimateStatic(c *netlist.Circuit, p *tech.Process, opts Options) (*StaticEstimate, error) {
+	probs, err := StateProbabilities(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return EstimateStaticProbs(c, p, probs)
+}
+
+// EstimateStaticProbs is EstimateStatic on precomputed state
+// probabilities — the variant the Vt-assignment pass uses to re-score
+// the same circuit after promotions without re-simulating (Vt swaps
+// change no logic value).
+func EstimateStaticProbs(c *netlist.Circuit, p *tech.Process, probs map[string]float64) (*StaticEstimate, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	est := &StaticEstimate{
+		ByGate:  make(map[string]float64),
+		ByClass: make(map[tech.VtClass]float64),
+	}
+	var probSum float64
+	var gates int
+	for _, n := range c.Nodes {
+		if !n.IsLogic() {
+			continue
+		}
+		q, ok := probs[n.Name]
+		if !ok {
+			continue
+		}
+		pw := GateLeakageUW(n.Cell(), n.CIn, n.Vt, q, p)
+		est.ByGate[n.Name] = pw
+		est.ByClass[n.Vt] += pw
+		est.TotalUW += pw
+		probSum += q
+		gates++
+	}
+	if gates > 0 {
+		est.MeanHigh = probSum / float64(gates)
+	}
+	return est, nil
+}

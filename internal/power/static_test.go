@@ -1,0 +1,145 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/iscas"
+	"repro/internal/tech"
+)
+
+func TestStateProbabilitiesRange(t *testing.T) {
+	c, err := iscas.Load("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := StateProbabilities(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) == 0 {
+		t.Fatal("no probabilities")
+	}
+	for name, q := range probs {
+		if q < 0 || q > 1 {
+			t.Fatalf("%s: probability %v outside [0,1]", name, q)
+		}
+	}
+	// Determinism: same options, same map.
+	again, err := StateProbabilities(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, q := range probs {
+		if again[name] != q {
+			t.Fatalf("%s: probability drifted between identical runs", name)
+		}
+	}
+}
+
+func TestGateLeakageClassOrdering(t *testing.T) {
+	p := tech.CMOS025()
+	inv := gate.MustLookup(gate.Inv)
+	lvt := GateLeakageUW(inv, 2.0, tech.LVT, 0.5, p)
+	svt := GateLeakageUW(inv, 2.0, tech.SVT, 0.5, p)
+	hvt := GateLeakageUW(inv, 2.0, tech.HVT, 0.5, p)
+	if !(lvt > svt && svt > hvt) {
+		t.Fatalf("leakage ordering broken: lvt %v svt %v hvt %v", lvt, svt, hvt)
+	}
+	if hvt <= 0 {
+		t.Fatal("HVT leakage must stay positive")
+	}
+	// Leakage scales linearly with size.
+	if got, want := GateLeakageUW(inv, 4.0, tech.SVT, 0.5, p), 2*svt; math.Abs(got-want) > 1e-12*want {
+		t.Fatalf("leakage not linear in size: %v vs %v", got, want)
+	}
+}
+
+func TestGateLeakageStackingEffect(t *testing.T) {
+	p := tech.CMOS025()
+	nand3 := gate.MustLookup(gate.Nand3)
+	nor3 := gate.MustLookup(gate.Nor3)
+	// Output high: NAND3 leaks through one 3-deep N stack, NOR3 through
+	// three parallel N devices — the NOR must leak substantially more.
+	nandHigh := GateLeakageUW(nand3, 2.0, tech.SVT, 1.0, p)
+	norHigh := GateLeakageUW(nor3, 2.0, tech.SVT, 1.0, p)
+	if norHigh <= nandHigh*2 {
+		t.Fatalf("stacking effect missing: NOR3 %v vs NAND3 %v at output high", norHigh, nandHigh)
+	}
+}
+
+func TestEstimateStaticCircuit(t *testing.T) {
+	c, err := iscas.Load("fpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tech.CMOS025()
+	base, err := EstimateStatic(c, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TotalUW <= 0 {
+		t.Fatalf("total leakage %v", base.TotalUW)
+	}
+	var sum float64
+	for _, pw := range base.ByGate {
+		sum += pw
+	}
+	if math.Abs(sum-base.TotalUW) > 1e-9*base.TotalUW {
+		t.Fatalf("per-gate shares %v do not sum to total %v", sum, base.TotalUW)
+	}
+	if base.ByClass[tech.SVT] != base.TotalUW {
+		t.Fatalf("all-SVT circuit must attribute everything to SVT: %v vs %v",
+			base.ByClass[tech.SVT], base.TotalUW)
+	}
+
+	// Promote every gate to HVT: leakage must collapse by roughly the
+	// class ratio while dynamic power is untouched.
+	dyn, err := EstimateCircuit(c, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		if n.IsLogic() {
+			n.Vt = tech.HVT
+		}
+	}
+	hvt, err := EstimateStatic(c, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hvt.TotalUW >= base.TotalUW/3 {
+		t.Fatalf("all-HVT leakage %v not well below all-SVT %v", hvt.TotalUW, base.TotalUW)
+	}
+	dyn2, err := EstimateCircuit(c, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.TotalUW != dyn2.TotalUW {
+		t.Fatal("Vt promotion changed dynamic power")
+	}
+}
+
+func TestEstimateStaticProbsMatchesEstimateStatic(t *testing.T) {
+	c, err := iscas.Load("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tech.CMOS025()
+	direct, err := EstimateStatic(c, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := StateProbabilities(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	via, err := EstimateStaticProbs(c, p, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.TotalUW != via.TotalUW {
+		t.Fatalf("precomputed-probability path diverged: %v vs %v", direct.TotalUW, via.TotalUW)
+	}
+}

@@ -134,6 +134,23 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
+// PowerBreakdown renders the dynamic/leakage/total power split of a
+// leakage-aware optimization as a before/after table (µW). Dynamic
+// power is unchanged by a multi-Vt pass — only the leakage column
+// moves — so the saving note quotes the total-power reduction.
+func PowerBreakdown(dynamicUW, staticBeforeUW, staticAfterUW float64) *Table {
+	t := NewTable("power breakdown (µW)", "", "Dynamic", "Leakage", "Total")
+	t.AddRow("before", dynamicUW, staticBeforeUW, dynamicUW+staticBeforeUW)
+	t.AddRow("after", dynamicUW, staticAfterUW, dynamicUW+staticAfterUW)
+	before := dynamicUW + staticBeforeUW
+	if before > 0 && staticBeforeUW > 0 {
+		t.AddNote("leakage saving %.1f%% (standby headline), total power saving %.2f%% at this activity",
+			(staticBeforeUW-staticAfterUW)/staticBeforeUW*100,
+			(staticBeforeUW-staticAfterUW)/before*100)
+	}
+	return t
+}
+
 // Series is a named (x, y) sequence reproducing one curve of a figure.
 type Series struct {
 	Name string

@@ -68,3 +68,20 @@ func TestFigure(t *testing.T) {
 		t.Fatal("series bookkeeping broken")
 	}
 }
+
+func TestPowerBreakdown(t *testing.T) {
+	tab := PowerBreakdown(280, 0.30, 0.06)
+	out := tab.String()
+	for _, want := range []string{"power breakdown", "Dynamic", "Leakage", "Total", "before", "after", "leakage saving 80.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(tab.Rows))
+	}
+	// Degenerate inputs must not divide by zero.
+	if got := PowerBreakdown(0, 0, 0); len(got.Notes) != 0 {
+		t.Fatal("zero-power breakdown should carry no saving note")
+	}
+}

@@ -81,7 +81,9 @@ func KWorstPaths(c *netlist.Circuit, m *delay.Model, cfg Config, k int) ([]Ranke
 	}
 
 	// arcDelay computes the frozen delay from driver state (d, rising)
-	// through sink gate s, and the resulting output polarity.
+	// through sink gate s, and the resulting output polarity. Vt-aware,
+	// matching the forward pass: the frozen arcs must agree with the
+	// arrivals of the Analyze result they are derived from.
 	arcDelay := func(d *netlist.Node, rising bool, s *netlist.Node) (float64, bool) {
 		if s.Type == gate.Output {
 			return 0, rising
@@ -91,14 +93,14 @@ func KWorstPaths(c *netlist.Circuit, m *delay.Model, cfg Config, k int) ([]Ranke
 		dt := res.Timing[d]
 		if cell.Invert {
 			if rising {
-				return res.Model.GateDelayHL(cell, s.CIn, cl, dt.TauRise), false
+				return res.Model.GateDelayHLVt(cell, s.CIn, cl, dt.TauRise, s.Vt), false
 			}
-			return res.Model.GateDelayLH(cell, s.CIn, cl, dt.TauFall), true
+			return res.Model.GateDelayLHVt(cell, s.CIn, cl, dt.TauFall, s.Vt), true
 		}
 		if rising {
-			return res.Model.GateDelayLH(cell, s.CIn, cl, dt.TauRise), true
+			return res.Model.GateDelayLHVt(cell, s.CIn, cl, dt.TauRise, s.Vt), true
 		}
-		return res.Model.GateDelayHL(cell, s.CIn, cl, dt.TauFall), false
+		return res.Model.GateDelayHLVt(cell, s.CIn, cl, dt.TauFall, s.Vt), false
 	}
 
 	// rem[(n, e)]: max remaining delay from the output edge e of n to

@@ -67,17 +67,17 @@ func (r *Result) Slacks(tc float64) (*SlackReport, error) {
 			cl := s.FanoutCap() + cell.Parasitic(s.CIn)
 			if cell.Invert {
 				// n rising → s falls; n falling → s rises.
-				if v := reqF[s] - r.Model.GateDelayHL(cell, s.CIn, cl, dt.TauRise); v < rr {
+				if v := reqF[s] - r.Model.GateDelayHLVt(cell, s.CIn, cl, dt.TauRise, s.Vt); v < rr {
 					rr = v
 				}
-				if v := reqR[s] - r.Model.GateDelayLH(cell, s.CIn, cl, dt.TauFall); v < rf {
+				if v := reqR[s] - r.Model.GateDelayLHVt(cell, s.CIn, cl, dt.TauFall, s.Vt); v < rf {
 					rf = v
 				}
 			} else {
-				if v := reqR[s] - r.Model.GateDelayLH(cell, s.CIn, cl, dt.TauRise); v < rr {
+				if v := reqR[s] - r.Model.GateDelayLHVt(cell, s.CIn, cl, dt.TauRise, s.Vt); v < rr {
 					rr = v
 				}
-				if v := reqF[s] - r.Model.GateDelayHL(cell, s.CIn, cl, dt.TauFall); v < rf {
+				if v := reqF[s] - r.Model.GateDelayHLVt(cell, s.CIn, cl, dt.TauFall, s.Vt); v < rf {
 					rf = v
 				}
 			}

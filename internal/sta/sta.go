@@ -112,11 +112,13 @@ func Analyze(c *netlist.Circuit, m *delay.Model, cfg Config) (*Result, error) {
 }
 
 // analyzeGate computes the worst rise/fall arrivals of a logic node.
+// Delays and transitions honor the node's Vt class; for the default SVT
+// class the Vt-aware model delegates bit-exactly to the base model.
 func (r *Result) analyzeGate(n *netlist.Node) {
 	cell := n.Cell()
 	cl := n.FanoutCap() + cell.Parasitic(n.CIn)
-	tauF := r.Model.TransitionHL(cell, n.CIn, cl)
-	tauR := r.Model.TransitionLH(cell, n.CIn, cl)
+	tauF := r.Model.TransitionHLVt(cell, n.CIn, cl, n.Vt)
+	tauR := r.Model.TransitionLHVt(cell, n.CIn, cl, n.Vt)
 
 	tFall, tRise := math.Inf(-1), math.Inf(-1)
 	var pFall, pRise *netlist.Node
@@ -124,19 +126,19 @@ func (r *Result) analyzeGate(n *netlist.Node) {
 		dt := r.Timing[d]
 		if cell.Invert {
 			// Input rising → output falling.
-			if t := dt.TRise + r.Model.GateDelayHL(cell, n.CIn, cl, dt.TauRise); t > tFall {
+			if t := dt.TRise + r.Model.GateDelayHLVt(cell, n.CIn, cl, dt.TauRise, n.Vt); t > tFall {
 				tFall, pFall = t, d
 			}
 			// Input falling → output rising.
-			if t := dt.TFall + r.Model.GateDelayLH(cell, n.CIn, cl, dt.TauFall); t > tRise {
+			if t := dt.TFall + r.Model.GateDelayLHVt(cell, n.CIn, cl, dt.TauFall, n.Vt); t > tRise {
 				tRise, pRise = t, d
 			}
 		} else {
 			// Non-inverting (BUF): edges preserved.
-			if t := dt.TFall + r.Model.GateDelayHL(cell, n.CIn, cl, dt.TauFall); t > tFall {
+			if t := dt.TFall + r.Model.GateDelayHLVt(cell, n.CIn, cl, dt.TauFall, n.Vt); t > tFall {
 				tFall, pFall = t, d
 			}
-			if t := dt.TRise + r.Model.GateDelayLH(cell, n.CIn, cl, dt.TauRise); t > tRise {
+			if t := dt.TRise + r.Model.GateDelayLHVt(cell, n.CIn, cl, dt.TauRise, n.Vt); t > tRise {
 				tRise, pRise = t, d
 			}
 		}

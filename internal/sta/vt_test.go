@@ -1,0 +1,136 @@
+package sta
+
+import (
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/iscas"
+	"repro/internal/tech"
+)
+
+// TestVtAwareAnalysis checks that STA honors per-node Vt classes: an
+// all-SVT run is bit-identical to the historical analysis (the zero
+// value changes nothing), promoting a gate on the critical path slows
+// the circuit, and promoting it back restores the exact baseline.
+func TestVtAwareAnalysis(t *testing.T) {
+	m := delay.NewModel(tech.CMOS025())
+	c, err := iscas.Load("fpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := base.CriticalNodes()
+	if len(crit) == 0 {
+		t.Fatal("empty critical path")
+	}
+	mid := crit[len(crit)/2]
+
+	mid.Vt = tech.HVT
+	slow, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.WorstDelay <= base.WorstDelay {
+		t.Fatalf("HVT on the critical path did not slow the circuit: %v vs %v",
+			slow.WorstDelay, base.WorstDelay)
+	}
+
+	mid.Vt = tech.LVT
+	fast, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.WorstDelay >= base.WorstDelay {
+		t.Fatalf("LVT on the critical path did not speed the circuit: %v vs %v",
+			fast.WorstDelay, base.WorstDelay)
+	}
+
+	mid.Vt = tech.SVT
+	restored, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.WorstDelay != base.WorstDelay {
+		t.Fatalf("restoring SVT did not restore the exact baseline: %v vs %v",
+			restored.WorstDelay, base.WorstDelay)
+	}
+}
+
+// TestVtIncrementalMatchesFull checks that the incremental update after
+// a Vt swap lands on exactly the timing a fresh full analysis computes.
+func TestVtIncrementalMatchesFull(t *testing.T) {
+	m := delay.NewModel(tech.CMOS025())
+	c, err := iscas.Load("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a non-critical gate: last gate by ID outside the critical set.
+	critical := map[string]bool{}
+	for _, n := range res.CriticalNodes() {
+		critical[n.Name] = true
+	}
+	var target = c.Nodes[0]
+	for _, n := range c.Nodes {
+		if n.IsLogic() && !critical[n.Name] {
+			target = n
+		}
+	}
+	target.Vt = tech.HVT
+	if _, err := res.Update(target); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorstDelay != fresh.WorstDelay {
+		t.Fatalf("incremental worst %v, full %v", res.WorstDelay, fresh.WorstDelay)
+	}
+	for _, n := range c.Nodes {
+		if res.Timing[n] != fresh.Timing[n] {
+			t.Fatalf("node %s timing diverged: %+v vs %+v", n.Name, res.Timing[n], fresh.Timing[n])
+		}
+	}
+}
+
+// TestVtSlacksReflectClass checks the backward pass: making every gate
+// HVT shrinks the worst slack against a fixed constraint.
+func TestVtSlacksReflectClass(t *testing.T) {
+	m := delay.NewModel(tech.CMOS025())
+	c, err := iscas.Load("fpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := res.WorstDelay * 1.2
+	before, err := res.Slacks(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		if n.IsLogic() {
+			n.Vt = tech.HVT
+		}
+	}
+	res2, err := Analyze(c, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := res2.Slacks(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.WorstSlack >= before.WorstSlack {
+		t.Fatalf("all-HVT worst slack %v not below all-SVT %v", after.WorstSlack, before.WorstSlack)
+	}
+}

@@ -84,6 +84,11 @@ type Process struct {
 	// transistor width, in fF/µm. It sets the self-loading parasitic
 	// of every gate.
 	CDiffPerMicron float64
+
+	// Vt is the multi-threshold extension of the corner: per-VtClass
+	// threshold shifts and subthreshold leakage currents (vt.go). The
+	// SVT entry is the unshifted reference device of eq. (1-3).
+	Vt [NumVtClasses]VtSpec
 }
 
 // CMOS025 returns the default 0.25 µm-class corner used by all paper
@@ -109,6 +114,7 @@ func CMOS025() *Process {
 		KPN:            218.0, // µA/µm at 1 V overdrive (calibrated to eq. 1-3)
 		VDSatRatio:     0.45,
 		CDiffPerMicron: 1.6, // fF/µm
+		Vt:             defaultVt025(),
 	}
 }
 
@@ -142,7 +148,7 @@ func (p *Process) Validate() error {
 			return fmt.Errorf("tech: %s (corner %q)", c.msg, p.Name)
 		}
 	}
-	return nil
+	return p.validateVt()
 }
 
 // Clone returns an independent copy of the corner, so experiments can

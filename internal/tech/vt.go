@@ -1,0 +1,170 @@
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// VtClass enumerates the threshold-voltage flavors of a multi-Vt
+// process. Selective multi-threshold design (Kitahara et al.) fabricates
+// the same cell footprint at several channel implants: a low-Vt device
+// is fast but leaky, a high-Vt device trades speed for an order of
+// magnitude less subthreshold leakage. The zero value is SVT — the
+// standard device every circuit starts from — so existing netlists and
+// all pre-multi-Vt results are unchanged by construction.
+type VtClass int
+
+// The three Vt classes of the default corner. Promotion order (toward
+// lower leakage) is LVT → SVT → HVT.
+const (
+	// SVT is the standard-threshold device: the library default and the
+	// device eq. (1-3) were calibrated on. Zero value.
+	SVT VtClass = iota
+	// LVT is the low-threshold device: higher drive, ~10× the SVT
+	// subthreshold leakage.
+	LVT
+	// HVT is the high-threshold device: lower drive, ~10× less
+	// subthreshold leakage than SVT.
+	HVT
+	// NumVtClasses sizes per-class arrays.
+	NumVtClasses = iota
+)
+
+// String names the class in lower case ("svt", "lvt", "hvt").
+func (v VtClass) String() string {
+	switch v {
+	case SVT:
+		return "svt"
+	case LVT:
+		return "lvt"
+	case HVT:
+		return "hvt"
+	}
+	return fmt.Sprintf("VtClass(%d)", int(v))
+}
+
+// Valid reports whether v is one of the defined classes.
+func (v VtClass) Valid() bool { return v >= 0 && v < NumVtClasses }
+
+// Rank orders the classes by threshold: LVT (0) < SVT (1) < HVT (2).
+// Higher rank means higher threshold — slower and less leaky.
+func (v VtClass) Rank() int {
+	switch v {
+	case LVT:
+		return 0
+	case SVT:
+		return 1
+	case HVT:
+		return 2
+	}
+	return -1
+}
+
+// Promote returns the next class up the threshold ladder (toward lower
+// leakage): LVT → SVT → HVT. ok is false at the top.
+func (v VtClass) Promote() (VtClass, bool) {
+	switch v {
+	case LVT:
+		return SVT, true
+	case SVT:
+		return HVT, true
+	}
+	return v, false
+}
+
+// VtClasses returns all classes in threshold order (LVT, SVT, HVT).
+func VtClasses() []VtClass { return []VtClass{LVT, SVT, HVT} }
+
+// VtSpec characterizes one threshold class of the process.
+type VtSpec struct {
+	// DeltaVT is the reduced-threshold shift ΔVT/VDD applied to both
+	// device polarities relative to the SVT device of eq. (1):
+	// negative for LVT (faster), zero for SVT, positive for HVT.
+	DeltaVT float64
+
+	// ILeakN and ILeakP are the subthreshold leakage currents per
+	// micron of N/P transistor width (nA/µm) with the device off at
+	// nominal VDD — the per-cell leakage characterization a low-power
+	// library carries (Kaur & Noor).
+	ILeakN float64
+	ILeakP float64
+}
+
+// VtSpec returns the spec of a class. It panics on invalid classes;
+// callers validate with VtClass.Valid first.
+func (p *Process) VtSpec(v VtClass) VtSpec { return p.Vt[v] }
+
+// VtShiftN returns the effective reduced N threshold of a class:
+// VTN + ΔVT. For SVT this is exactly VTN.
+func (p *Process) VtShiftN(v VtClass) float64 { return p.VTN + p.Vt[v].DeltaVT }
+
+// VtShiftP returns the effective reduced P threshold of a class.
+func (p *Process) VtShiftP(v VtClass) float64 { return p.VTP + p.Vt[v].DeltaVT }
+
+// VtDriveN returns the pull-down drive of a class relative to the SVT
+// device, per the alpha-power law: ((1−VTN−Δ)/(1−VTN))^α. Greater than
+// one for LVT, exactly one for SVT, below one for HVT. Output falling
+// transitions scale by its inverse.
+func (p *Process) VtDriveN(v VtClass) float64 {
+	d := p.Vt[v].DeltaVT
+	if d == 0 {
+		return 1
+	}
+	return math.Pow((1-p.VTN-d)/(1-p.VTN), p.Alpha)
+}
+
+// VtDriveP returns the pull-up drive of a class relative to SVT.
+func (p *Process) VtDriveP(v VtClass) float64 {
+	d := p.Vt[v].DeltaVT
+	if d == 0 {
+		return 1
+	}
+	return math.Pow((1-p.VTP-d)/(1-p.VTP), p.Alpha)
+}
+
+// defaultVt025 returns the multi-Vt extension of the 0.25 µm-class
+// corner. Shifts of ∓0.15 V (±0.06 reduced at VDD = 2.5 V) move the
+// subthreshold leakage by roughly an order of magnitude per class at a
+// ~90 mV/decade swing; the absolute SVT currents are representative of
+// published 0.25 µm data at room temperature.
+func defaultVt025() [NumVtClasses]VtSpec {
+	var vt [NumVtClasses]VtSpec
+	vt[SVT] = VtSpec{DeltaVT: 0, ILeakN: 2.5, ILeakP: 1.2}
+	vt[LVT] = VtSpec{DeltaVT: -0.06, ILeakN: 24.0, ILeakP: 11.5}
+	vt[HVT] = VtSpec{DeltaVT: +0.06, ILeakN: 0.26, ILeakP: 0.13}
+	return vt
+}
+
+// validateVt checks the multi-Vt table of a corner: the SVT entry is
+// the unshifted reference, shifted thresholds stay physical, and
+// leakage decreases strictly with threshold rank.
+func (p *Process) validateVt() error {
+	if p.Vt[SVT].DeltaVT != 0 {
+		return fmt.Errorf("tech: SVT threshold shift must be zero (corner %q)", p.Name)
+	}
+	for _, v := range VtClasses() {
+		s := p.Vt[v]
+		if n := p.VTN + s.DeltaVT; n <= 0 || n >= 1 {
+			return fmt.Errorf("tech: %v shifts reduced VTN to %.3f outside (0,1) (corner %q)", v, n, p.Name)
+		}
+		if t := p.VTP + s.DeltaVT; t <= 0 || t >= 1 {
+			return fmt.Errorf("tech: %v shifts reduced VTP to %.3f outside (0,1) (corner %q)", v, t, p.Name)
+		}
+		if s.ILeakN < 0 || s.ILeakP < 0 {
+			return fmt.Errorf("tech: %v has negative leakage current (corner %q)", v, p.Name)
+		}
+	}
+	order := VtClasses()
+	for i := 1; i < len(order); i++ {
+		lo, hi := p.Vt[order[i-1]], p.Vt[order[i]]
+		if hi.DeltaVT <= lo.DeltaVT {
+			return fmt.Errorf("tech: Vt shifts must increase with rank (%v vs %v, corner %q)",
+				order[i-1], order[i], p.Name)
+		}
+		if hi.ILeakN >= lo.ILeakN || hi.ILeakP >= lo.ILeakP {
+			return fmt.Errorf("tech: leakage must decrease with threshold rank (%v vs %v, corner %q)",
+				order[i-1], order[i], p.Name)
+		}
+	}
+	return nil
+}

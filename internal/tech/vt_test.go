@@ -1,0 +1,110 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVtDefaultsValidate(t *testing.T) {
+	p := CMOS025()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default corner with Vt table invalid: %v", err)
+	}
+}
+
+func TestVtZeroValueIsSVT(t *testing.T) {
+	var v VtClass
+	if v != SVT {
+		t.Fatalf("zero VtClass = %v, want SVT", v)
+	}
+}
+
+func TestVtPromotionLadder(t *testing.T) {
+	steps := []struct {
+		from, to VtClass
+		ok       bool
+	}{
+		{LVT, SVT, true},
+		{SVT, HVT, true},
+		{HVT, HVT, false},
+	}
+	for _, s := range steps {
+		got, ok := s.from.Promote()
+		if ok != s.ok || (ok && got != s.to) {
+			t.Fatalf("Promote(%v) = %v,%v want %v,%v", s.from, got, ok, s.to, s.ok)
+		}
+	}
+	order := VtClasses()
+	for i := 1; i < len(order); i++ {
+		if order[i].Rank() <= order[i-1].Rank() {
+			t.Fatalf("rank not increasing at %v", order[i])
+		}
+	}
+}
+
+func TestVtDriveOrdering(t *testing.T) {
+	p := CMOS025()
+	if p.VtDriveN(SVT) != 1 || p.VtDriveP(SVT) != 1 {
+		t.Fatalf("SVT drive must be exactly 1, got %v/%v", p.VtDriveN(SVT), p.VtDriveP(SVT))
+	}
+	if !(p.VtDriveN(LVT) > 1 && p.VtDriveN(HVT) < 1) {
+		t.Fatalf("N drive ordering broken: LVT %v, HVT %v", p.VtDriveN(LVT), p.VtDriveN(HVT))
+	}
+	if !(p.VtDriveP(LVT) > 1 && p.VtDriveP(HVT) < 1) {
+		t.Fatalf("P drive ordering broken: LVT %v, HVT %v", p.VtDriveP(LVT), p.VtDriveP(HVT))
+	}
+}
+
+func TestVtLeakageOrdering(t *testing.T) {
+	p := CMOS025()
+	if !(p.Vt[LVT].ILeakN > p.Vt[SVT].ILeakN && p.Vt[SVT].ILeakN > p.Vt[HVT].ILeakN) {
+		t.Fatal("N leakage must fall with threshold rank")
+	}
+	// Roughly an order of magnitude per class.
+	if r := p.Vt[SVT].ILeakN / p.Vt[HVT].ILeakN; r < 5 || r > 30 {
+		t.Fatalf("SVT/HVT leakage ratio %v outside the order-of-magnitude band", r)
+	}
+}
+
+func TestVtValidateRejections(t *testing.T) {
+	cases := []func(p *Process){
+		func(p *Process) { p.Vt[SVT].DeltaVT = 0.01 },                  // shifted reference
+		func(p *Process) { p.Vt[HVT].DeltaVT = 1.0 },                   // threshold out of range
+		func(p *Process) { p.Vt[HVT].ILeakN = -1 },                     // negative leakage
+		func(p *Process) { p.Vt[HVT].ILeakN = p.Vt[LVT].ILeakN * 2 },   // ordering broken
+		func(p *Process) { p.Vt[LVT].DeltaVT = p.Vt[HVT].DeltaVT + 1 }, // shift ordering broken
+	}
+	for i, mutate := range cases {
+		p := CMOS025()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: corrupted Vt table accepted", i)
+		}
+	}
+}
+
+func TestVtStringAndValid(t *testing.T) {
+	for _, v := range VtClasses() {
+		if !v.Valid() {
+			t.Fatalf("%v not valid", v)
+		}
+	}
+	if VtClass(99).Valid() {
+		t.Fatal("out-of-range class valid")
+	}
+	if SVT.String() != "svt" || LVT.String() != "lvt" || HVT.String() != "hvt" {
+		t.Fatal("class names drifted")
+	}
+}
+
+func TestVtCloneIndependent(t *testing.T) {
+	p := CMOS025()
+	q := p.Clone()
+	q.Vt[HVT].ILeakN = 99
+	if p.Vt[HVT].ILeakN == 99 {
+		t.Fatal("Clone shares the Vt table")
+	}
+	if math.Abs(q.VtShiftN(HVT)-p.VTN-q.Vt[HVT].DeltaVT) > 1e-15 {
+		t.Fatal("VtShiftN inconsistent")
+	}
+}

@@ -27,7 +27,9 @@
 //	restructure De Morgan NOR→NAND rewrites (§4.2)
 //	amps        an industrial-style baseline sizer (AMPS stand-in)
 //	core        the optimization protocol (Fig. 7)
-//	power       dynamic power from toggle-counted activities
+//	power       dynamic power from toggle-counted activities and
+//	            subthreshold leakage from state probabilities
+//	leakage     selective multi-Vt assignment (standby leakage)
 //	calib       model calibration against the transistor simulator
 //	wire        fan-out wire-load model and uncertainty sweeps (§2)
 //	le          classic logical effort (ref. [4]) baseline
@@ -57,6 +59,13 @@
 // The same engine backs cmd/popsd, a standard-library JSON HTTP daemon
 // (POST /v1/optimize, /v1/sweep, /v1/suite; GET /v1/jobs/{id},
 // /healthz) for serving the optimizer as a long-running service.
+//
+// Leakage-aware runs extend the protocol with the selective multi-Vt
+// pass (internal/leakage): after sizing, non-critical gates are
+// promoted to high-threshold devices under incremental-STA guard,
+// cutting subthreshold leakage at zero area and zero dynamic cost —
+// requested with OptimizeRequest.Leakage, Protocol.OptimizeWithLeakage
+// or the "pops leakage" CLI subcommand.
 package pops
 
 import (
@@ -71,6 +80,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gate"
 	"repro/internal/iscas"
+	"repro/internal/leakage"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/power"
@@ -243,6 +253,45 @@ type (
 	// SlackReport carries required times and slacks against Tc.
 	SlackReport = sta.SlackReport
 )
+
+// Multi-Vt (leakage) types, re-exported from internal/tech, power and
+// leakage.
+type (
+	// VtClass enumerates threshold flavors (LVT, SVT, HVT).
+	VtClass = tech.VtClass
+	// VtSpec characterizes one threshold class of a process.
+	VtSpec = tech.VtSpec
+	// StaticPowerEstimate reports subthreshold leakage power.
+	StaticPowerEstimate = power.StaticEstimate
+	// LeakageOptions parameterizes the selective Vt-assignment pass.
+	LeakageOptions = leakage.Options
+	// LeakageResult reports a Vt-assignment run (promotions + power
+	// breakdown).
+	LeakageResult = leakage.Result
+)
+
+// Threshold classes of the multi-Vt extension, re-exported. SVT is the
+// default device every circuit starts from.
+const (
+	SVT = tech.SVT
+	LVT = tech.LVT
+	HVT = tech.HVT
+)
+
+// EstimateStaticPower computes the subthreshold leakage power of a
+// circuit: per-gate off-currents by Vt class, size, and simulated
+// input-state probability.
+func EstimateStaticPower(c *Circuit, p *Process, opts PowerOptions) (*StaticPowerEstimate, error) {
+	return power.EstimateStatic(c, p, opts)
+}
+
+// AssignVt runs the selective multi-Vt pass on an already-optimized
+// circuit: gates on non-critical paths are greedily promoted to higher
+// thresholds, each move verified by incremental STA against tc. Use
+// Protocol.OptimizeWithLeakage for the combined size-then-assign flow.
+func AssignVt(ctx context.Context, c *Circuit, m *Model, tc float64, opts LeakageOptions) (*LeakageResult, error) {
+	return leakage.Assign(ctx, c, m, tc, opts)
+}
 
 // EstimatePower computes the dynamic power of a circuit under random
 // switching activity (toggle-counted by logic simulation).
