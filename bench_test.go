@@ -19,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/gate"
+	"repro/internal/sta"
 )
 
 // benchSet keeps per-iteration cost bounded; cmd/experiments runs the
@@ -509,6 +510,102 @@ func BenchmarkEngineHTTP(b *testing.B) {
 		srv.ServeHTTP(rec, req)
 		if rec.Code != 200 {
 			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// --- Timing-session benches (internal/sta; BENCH_sta.json) ---
+
+// staRoundSet and staRounds model the optimizer's hot loop: per round,
+// one timing view of the circuit, one critical-path extraction, one
+// worst-path resize. The two benchmarks below run the identical
+// workload through the historical flow (a full fresh Analyze per
+// round) and through the reusable session (cached analysis + dirty-cone
+// Update), so their ns/op and allocs/op ratio is exactly the win of the
+// incremental timing session recorded in BENCH_sta.json.
+var staRoundSet = []string{"fpd", "c432", "c880", "c1355"}
+
+const staRounds = 8
+
+// staPerturb deterministically resizes the round's critical nodes —
+// the stand-in for the protocol's write-back. Alternating factors keep
+// sizes bounded across iterations.
+func staPerturb(nodes []*Node, round int) {
+	f := 1.02
+	if round%2 == 1 {
+		f = 1 / 1.02
+	}
+	for _, n := range nodes {
+		n.CIn *= f
+	}
+}
+
+// BenchmarkSTARoundLoopFullAnalyze is the pre-session baseline: every
+// round pays a whole-circuit forward pass into freshly allocated
+// timing storage, exactly like the historical core.OptimizeStep.
+func BenchmarkSTARoundLoopFullAnalyze(b *testing.B) {
+	model := NewModel(DefaultProcess())
+	circuits := make([]*Circuit, len(staRoundSet))
+	for i, name := range staRoundSet {
+		c, err := Benchmark(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		circuits[i] = c
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range circuits {
+			for round := 0; round < staRounds; round++ {
+				res, err := sta.Analyze(c, model, sta.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				staPerturb(res.CriticalNodes(), round)
+			}
+		}
+	}
+}
+
+// BenchmarkSTARoundLoopSession is the same workload through one
+// reusable timing session per circuit: the analysis is served from the
+// session's buffers and repaired with a dirty-cone incremental update
+// after each resize — the allocation-free round loop of the refactored
+// optimizer.
+func BenchmarkSTARoundLoopSession(b *testing.B) {
+	model := NewModel(DefaultProcess())
+	type unit struct {
+		sess *sta.Session
+		crit []*Node
+	}
+	units := make([]unit, len(staRoundSet))
+	for i, name := range staRoundSet {
+		c, err := Benchmark(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		units[i].sess = sta.NewSession(c, model, sta.Config{})
+		if _, err := units[i].sess.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for u := range units {
+			sess := units[u].sess
+			for round := 0; round < staRounds; round++ {
+				res, err := sess.Analyze()
+				if err != nil {
+					b.Fatal(err)
+				}
+				units[u].crit = res.AppendCriticalNodes(units[u].crit)
+				staPerturb(units[u].crit, round)
+				if _, err := res.Update(units[u].crit...); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	}
 }

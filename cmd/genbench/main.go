@@ -1,13 +1,20 @@
 // Command genbench exports the synthetic benchmark suite as ISCAS'85
 // .bench files, so the circuits used by the experiments can be fed to
 // external tools (or diffed across versions — generation is
-// deterministic).
+// deterministic), and captures Go benchmark runs — including -benchmem
+// allocation counters — into the repository's BENCH_*.json records.
 //
 // Usage:
 //
 //	genbench [-out bench] [-seed 0] [name ...]
+//	genbench bench -out BENCH_x.json -pattern 'BenchmarkX' [-pkg .]
+//	         [-benchtime 3x] [-count 1] [-desc "..."] [-note "..."]
 //
-// With no names, the whole suite plus c17 and rca16 is exported.
+// With no names, the whole suite plus c17 and rca16 is exported. The
+// bench subcommand shells out to `go test -bench <pattern> -benchmem`,
+// parses every result line (ns/op, B/op, allocs/op and custom metrics)
+// plus the host header, and writes the JSON record whose exact command
+// line is embedded in the file for reproduction.
 package main
 
 import (
@@ -22,6 +29,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		if err := runBenchCapture(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "genbench bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	out := flag.String("out", "bench", "output directory")
 	seed := flag.Int64("seed", 0, "generator seed override for suite circuits")
 	flag.Parse()

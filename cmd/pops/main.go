@@ -279,7 +279,7 @@ func run(w io.Writer, cmd, benchFile, circuit string, tc, ratio float64, k int) 
 			tc, rep.WorstSlack, rep.Violations)
 		t := report.NewTable("most critical nodes", "Node", "Slack (ps)")
 		for _, n := range rep.CriticalBySlack(k) {
-			t.AddRow(n.Name, rep.Slack[n])
+			t.AddRow(n.Name, rep.Slack(n))
 		}
 		fmt.Fprint(w, t.String())
 		return nil

@@ -286,21 +286,37 @@ type StepResult struct {
 // progress until the whole path set converges. Capped at 2%.
 const stepSlack = 5e-4
 
-// OptimizeStep runs one round of the circuit driver: analyze, extract
-// the worst path, run the Fig. 7 path protocol at a progressively
-// tightened constraint, write the sizes back, replay inserted buffers
-// as inverter pairs, and escalate to De Morgan NOR rewrites when the
-// path protocol cannot reach Tc. The round index selects the
-// tightening margin; callers iterating from zero reproduce
-// OptimizeCircuit exactly. The circuit is modified in place.
+// NewTimingSession builds the reusable incremental-STA session the
+// round-loop entry points below share: one session per circuit, its
+// buffers recycled across every round, full re-analysis only when the
+// circuit's structural epoch moves.
+func (p *Protocol) NewTimingSession(c *netlist.Circuit) *sta.Session {
+	return sta.NewSession(c, p.cfg.Model, p.cfg.STA)
+}
+
+// OptimizeStep runs one round of the circuit driver: analyze
+// (incrementally, through the session), extract the worst path, run the
+// Fig. 7 path protocol at a progressively tightened constraint, write
+// the sizes back, replay inserted buffers as inverter pairs, and
+// escalate to De Morgan NOR rewrites when the path protocol cannot
+// reach Tc. The round index selects the tightening margin; callers
+// iterating from zero reproduce OptimizeCircuit exactly. The session's
+// circuit is modified in place.
+//
+// Size-only rounds repair the session's timing with an incremental
+// Update over the resized path; structural rounds (buffer replay, NOR
+// rewrites) bump the circuit's epoch, and the next step re-analyzes
+// into the session's reused buffers. Either way the timing handed to
+// the following round is bit-identical to a fresh full analysis.
 //
 // Exporting the step lets external drivers — notably the concurrent
 // batch engine in internal/engine — interleave rounds with
 // cancellation checks and progress reporting while remaining
 // result-identical to OptimizeCircuit.
-func (p *Protocol) OptimizeStep(c *netlist.Circuit, tc float64, round int) (*StepResult, error) {
+func (p *Protocol) OptimizeStep(sess *sta.Session, tc float64, round int) (*StepResult, error) {
 	m := p.cfg.Model
-	res, err := sta.Analyze(c, m, p.cfg.STA)
+	c := sess.Circuit()
+	res, err := sess.Analyze()
 	if err != nil {
 		return nil, err
 	}
@@ -346,21 +362,31 @@ func (p *Protocol) OptimizeStep(c *netlist.Circuit, tc float64, round int) (*Ste
 		st.NorRewrites = len(rep.Rewritten)
 		st.Progress = len(rep.Rewritten) > 0 || inserted > 0
 	}
+
+	// Repair the session's timing in place when the round only resized
+	// gates; after structural mutations the epoch has moved and the next
+	// Analyze re-propagates the whole circuit into the same buffers.
+	if res.Fresh() {
+		if _, err := res.Update(logicNodes(po.Path)...); err != nil {
+			return nil, err
+		}
+	}
 	return st, nil
 }
 
-// Summarize closes a stepped run: it re-analyzes the circuit and fills
-// the outcome's final delay, feasibility and area. External step
-// drivers call it after their round loop; OptimizeCircuit uses it for
-// its own epilogue.
-func (p *Protocol) Summarize(c *netlist.Circuit, out *CircuitOutcome) error {
-	res, err := sta.Analyze(c, p.cfg.Model, p.cfg.STA)
+// Summarize closes a stepped run: it re-analyzes the circuit (served
+// from the session's incremental state when still fresh) and fills the
+// outcome's final delay, feasibility and area. External step drivers
+// call it after their round loop; OptimizeCircuit uses it for its own
+// epilogue.
+func (p *Protocol) Summarize(sess *sta.Session, out *CircuitOutcome) error {
+	res, err := sess.Analyze()
 	if err != nil {
 		return err
 	}
 	out.Delay = res.WorstDelay
 	out.Feasible = res.WorstDelay <= out.Tc
-	out.Area = c.Area(p.cfg.Model.Proc.WidthForCap)
+	out.Area = sess.Circuit().Area(p.cfg.Model.Proc.WidthForCap)
 	return nil
 }
 
@@ -375,15 +401,24 @@ func (p *Protocol) OptimizeCircuit(c *netlist.Circuit, tc float64) (*CircuitOutc
 }
 
 // OptimizeCircuitContext is OptimizeCircuit with cancellation between
-// rounds — the driver shared by the sequential path and the concurrent
-// engine, so both accumulate outcomes through the exact same loop.
+// rounds: it builds one timing session for the circuit and runs the
+// session driver below.
 func (p *Protocol) OptimizeCircuitContext(ctx context.Context, c *netlist.Circuit, tc float64) (*CircuitOutcome, error) {
+	return p.OptimizeSession(ctx, p.NewTimingSession(c), tc)
+}
+
+// OptimizeSession is the round loop shared by the sequential path and
+// the concurrent engine: both accumulate outcomes through the exact
+// same steps over one reusable timing session, so results are
+// byte-identical regardless of the driver. The session (usually from
+// NewTimingSession) must be configured like the protocol's own STA.
+func (p *Protocol) OptimizeSession(ctx context.Context, sess *sta.Session, tc float64) (*CircuitOutcome, error) {
 	out := &CircuitOutcome{Tc: tc}
 	for round := 0; round < p.cfg.MaxRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		st, err := p.OptimizeStep(c, tc, round)
+		st, err := p.OptimizeStep(sess, tc, round)
 		if err != nil {
 			return nil, err
 		}
@@ -400,7 +435,7 @@ func (p *Protocol) OptimizeCircuitContext(ctx context.Context, c *netlist.Circui
 			break
 		}
 	}
-	if err := p.Summarize(c, out); err != nil {
+	if err := p.Summarize(sess, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -417,14 +452,28 @@ func (p *Protocol) OptimizeCircuitContext(ctx context.Context, c *netlist.Circui
 // A zero opts is the default policy: promote as far as HVT, default
 // power-simulation vectors, and the protocol's own STA configuration.
 func (p *Protocol) OptimizeWithLeakage(ctx context.Context, c *netlist.Circuit, tc float64, opts leakage.Options) (*CircuitOutcome, error) {
-	out, err := p.OptimizeCircuitContext(ctx, c, tc)
+	return p.OptimizeWithLeakageSession(ctx, p.NewTimingSession(c), tc, opts)
+}
+
+// OptimizeWithLeakageSession is OptimizeWithLeakage over a
+// caller-supplied timing session: the sizing rounds and the Vt pass
+// share the same incremental state, so the leakage pass starts from the
+// already-propagated timing instead of re-analyzing the circuit.
+func (p *Protocol) OptimizeWithLeakageSession(ctx context.Context, sess *sta.Session, tc float64, opts leakage.Options) (*CircuitOutcome, error) {
+	out, err := p.OptimizeSession(ctx, sess, tc)
 	if err != nil {
 		return nil, err
 	}
 	if opts.STA == (sta.Config{}) {
 		opts.STA = p.cfg.STA
 	}
-	lr, err := leakage.Assign(ctx, c, p.cfg.Model, tc, opts)
+	lsess := sess
+	if opts.STA != sess.Config() {
+		// The caller asked for different slopes in the Vt pass: give the
+		// leakage pass its own session at that configuration.
+		lsess = sta.NewSession(sess.Circuit(), p.cfg.Model, opts.STA)
+	}
+	lr, err := leakage.AssignSession(ctx, lsess, tc, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestReadJSONBodyLimit table-tests the bounded-body decoder: a payload
+// over the 1 MiB cap must answer 413 with an explicit limit message
+// (the historical behavior surfaced the truncation as a generic 400
+// syntax error), while genuinely malformed JSON keeps answering 400.
+func TestReadJSONBodyLimit(t *testing.T) {
+	srv, _ := newTestServer(t)
+	oversize := `{"circuit":"fpd","padding":"` + strings.Repeat("x", maxBodyBytes) + `"}`
+	cases := []struct {
+		name    string
+		body    string
+		status  int
+		wantErr string
+	}{
+		{
+			name:    "oversize body answers 413",
+			body:    oversize,
+			status:  http.StatusRequestEntityTooLarge,
+			wantErr: "exceeds",
+		},
+		{
+			name:    "malformed JSON answers 400",
+			body:    `{"circuit": "fpd",`,
+			status:  http.StatusBadRequest,
+			wantErr: "",
+		},
+		{
+			name:    "valid small body passes the decoder",
+			body:    `{"circuit":"fpd","ratio":1.5,"wait":true}`,
+			status:  http.StatusOK,
+			wantErr: "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest("POST", "/v1/optimize", strings.NewReader(tc.body))
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != tc.status {
+				t.Fatalf("status %d, want %d: %s", rec.Code, tc.status, rec.Body.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(rec.Body.String(), tc.wantErr) {
+				t.Fatalf("error message %q does not mention %q", rec.Body.String(), tc.wantErr)
+			}
+		})
+	}
+}

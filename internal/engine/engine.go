@@ -242,8 +242,12 @@ func (e *Engine) computeTask(ctx context.Context, req OptimizeRequest, instantia
 	} else if c, err = loadCircuit(req.Circuit); err != nil {
 		return nil, err
 	}
+	// One incremental timing session serves the whole task: bounds
+	// extraction, every protocol round, and the leakage pass all share
+	// the same reused per-node buffers.
+	sess := proto.NewTimingSession(c)
 	if tb == nil {
-		pa, _, err := sta.CriticalPath(c, e.model, e.cfg.STA)
+		pa, _, err := sess.CriticalPath()
 		if err != nil {
 			return nil, err
 		}
@@ -264,9 +268,9 @@ func (e *Engine) computeTask(ctx context.Context, req OptimizeRequest, instantia
 
 	var out *core.CircuitOutcome
 	if req.Leakage {
-		out, err = proto.OptimizeWithLeakage(ctx, c, tc, e.cfg.Leakage)
+		out, err = proto.OptimizeWithLeakageSession(ctx, sess, tc, e.cfg.Leakage)
 	} else {
-		out, err = proto.OptimizeCircuitContext(ctx, c, tc)
+		out, err = proto.OptimizeSession(ctx, sess, tc)
 	}
 	if err != nil {
 		return nil, err

@@ -80,6 +80,30 @@ func TestEngineMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestSuiteDeterministicAcrossWorkers guards the per-task timing
+// sessions of the refactored engine: each (circuit, Tc) task owns one
+// incremental session over its own clone, so suite results must stay
+// byte-identical across worker counts (fresh engines — nothing served
+// from a shared memo). Run under -race in CI.
+func TestSuiteDeterministicAcrossWorkers(t *testing.T) {
+	names := []string{"fpd", "c432", "c880"}
+	req := SuiteRequest{Benchmarks: names, Ratios: []float64{1.2, 1.5, 2.0}}
+	var dumps []string
+	for _, workers := range []int{1, 2, 4} {
+		e := newEngine(t, workers)
+		res, err := e.Suite(context.Background(), req)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		dumps = append(dumps, dumpSuite(res))
+	}
+	for i := 1; i < len(dumps); i++ {
+		if dumps[0] != dumps[i] {
+			t.Errorf("suite diverged across worker counts\n--- first\n%s--- other\n%s", dumps[0], dumps[i])
+		}
+	}
+}
+
 // TestSweepMatchesSequential checks the sweep job against per-point
 // sequential runs on one benchmark: cloning the master and sharing
 // cached bounds must not leak state between Tc points.

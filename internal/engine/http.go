@@ -18,7 +18,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"io"
+	"fmt"
 	"net/http"
 	"time"
 )
@@ -262,11 +262,24 @@ func wireOptimize(r *OptimizeResult) OptimizeWire {
 	return o
 }
 
-// readJSON decodes a bounded request body, answering 400 on failure.
+// maxBodyBytes bounds POST request bodies (1 MiB — far above any
+// legitimate request of this API).
+const maxBodyBytes = 1 << 20
+
+// readJSON decodes a bounded request body: malformed JSON answers 400,
+// a body over maxBodyBytes answers 413 with a clear message instead of
+// surfacing the truncation as a misleading syntax error.
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", tooLarge.Limit))
+			return false
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return false
 	}

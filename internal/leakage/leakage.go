@@ -92,6 +92,18 @@ type Result struct {
 // protocol ran out of moves) only promotions that leave the worst
 // delay untouched are accepted.
 func Assign(ctx context.Context, c *netlist.Circuit, m *delay.Model, tc float64, opts Options) (*Result, error) {
+	return AssignSession(ctx, sta.NewSession(c, m, opts.STA), tc, opts)
+}
+
+// AssignSession is Assign over a caller-supplied incremental timing
+// session (the session's STA configuration governs the slopes; opts.STA
+// is ignored). The combined size-then-assign flow of
+// core.OptimizeWithLeakage threads the sizing rounds' session through
+// here, so the pass starts from the already-propagated timing instead
+// of re-analyzing the circuit, and every promotion check runs on the
+// session's reused buffers.
+func AssignSession(ctx context.Context, sess *sta.Session, tc float64, opts Options) (*Result, error) {
+	c, m := sess.Circuit(), sess.Model()
 	if tc <= 0 {
 		return nil, fmt.Errorf("leakage: non-positive constraint %g", tc)
 	}
@@ -100,7 +112,7 @@ func Assign(ctx context.Context, c *netlist.Circuit, m *delay.Model, tc float64,
 	}
 	maxClass := opts.maxClass()
 
-	res, err := sta.Analyze(c, m, opts.STA)
+	res, err := sess.Analyze()
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +166,7 @@ func Assign(ctx context.Context, c *netlist.Circuit, m *delay.Model, tc float64,
 		if n.Vt.Rank() >= maxClass.Rank() {
 			continue
 		}
-		if sl, ok := slacks.Slack[n]; ok && sl > 0 {
+		if sl := slacks.Slack(n); sl > 0 {
 			cands = append(cands, cand{n, sl})
 		}
 	}

@@ -90,6 +90,9 @@ func (c *Circuit) ReplaceType(n *Node, t gate.Type) error {
 			c.Name, n.Name, n.Type, oldCell.FanIn, t, newCell.FanIn)
 	}
 	n.Type = t
+	// A retype preserves node count and connectivity but changes the arc
+	// personality — structural for timing purposes.
+	c.MarkMutated()
 	return nil
 }
 
@@ -145,6 +148,7 @@ func (c *Circuit) BypassInverter(n *Node, pin int) (bool, error) {
 	// the source (per-pin multiplicity).
 	removeFromFanout(inv, n)
 	src.Fanout = append(src.Fanout, n)
+	c.MarkMutated()
 	if len(inv.Fanout) == 0 {
 		c.removeNode(inv)
 		return true, nil
@@ -165,6 +169,7 @@ func (c *Circuit) removeNode(n *Node) {
 			break
 		}
 	}
+	c.MarkMutated()
 }
 
 // RemoveIfDead removes n when it is a logic node with no fanout,

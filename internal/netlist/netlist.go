@@ -85,8 +85,31 @@ type Circuit struct {
 
 	byName map[string]*Node
 	nextID int
-	genSeq int // counter for generated (inserted) node names
+	genSeq int    // counter for generated (inserted) node names
+	epoch  uint64 // structural mutation counter (see Epoch)
 }
+
+// Epoch returns the circuit's structural mutation epoch: a counter
+// bumped by every mutation that can invalidate a cached topological
+// order or change arc delays structurally — node insertion and removal,
+// pin rewiring, and cell retyping. Size (CIn, CWire) and Vt writes do
+// NOT bump it: they perturb timing values, not structure, and cached
+// analyses repair them incrementally. Consumers (sta.Result,
+// sta.Session) record the epoch at analysis time and refuse or refresh
+// stale state when it has moved since.
+func (c *Circuit) Epoch() uint64 { return c.epoch }
+
+// MarkMutated bumps the structural epoch. Every mutator in this package
+// calls it internally; external code that rewires Fanin/Fanout slices
+// directly (e.g. the restructure package's inverter-pair collapse) must
+// call it once per structural edit batch.
+func (c *Circuit) MarkMutated() { c.epoch++ }
+
+// IDBound returns an exclusive upper bound on node IDs: every node of
+// the circuit satisfies 0 ≤ n.ID < IDBound(), and IDs are never reused,
+// so a slice of length IDBound() is valid dense per-node storage for
+// the circuit's current epoch.
+func (c *Circuit) IDBound() int { return c.nextID }
 
 // DefaultGateCIn is the per-pin input capacitance (fF) assigned to
 // newly created gates: the minimum available drive of the default
@@ -114,6 +137,7 @@ func (c *Circuit) addNode(name string, t gate.Type) (*Node, error) {
 	c.nextID++
 	c.Nodes = append(c.Nodes, n)
 	c.byName[name] = n
+	c.epoch++
 	return n, nil
 }
 
@@ -272,32 +296,71 @@ func countOf(ns []*Node, n *Node) int {
 // (Kahn's algorithm with ID tie-breaking), or an error if the graph has
 // a cycle.
 func (c *Circuit) TopoOrder() ([]*Node, error) {
-	indeg := make(map[*Node]int, len(c.Nodes))
-	for _, n := range c.Nodes {
-		indeg[n] = len(n.Fanin)
+	return c.TopoOrderInto(nil, nil)
+}
+
+// TopoScratch is reusable working storage for TopoOrderInto. The zero
+// value is ready to use; buffers grow on demand and are retained across
+// calls, so a caller that re-sorts the same circuit repeatedly (the
+// incremental timing session) performs no steady-state allocation.
+type TopoScratch struct {
+	indeg []int   // per-ID in-degree countdown
+	ready []*Node // Kahn frontier
+	next  []*Node // per-step newly-ready batch
+}
+
+func (s *TopoScratch) grow(idBound int) {
+	if cap(s.indeg) < idBound {
+		s.indeg = make([]int, idBound)
 	}
-	ready := make([]*Node, 0, len(c.Nodes))
+	s.indeg = s.indeg[:idBound]
+	for i := range s.indeg {
+		s.indeg[i] = 0
+	}
+	s.ready = s.ready[:0]
+	s.next = s.next[:0]
+}
+
+// TopoOrderInto is TopoOrder with caller-supplied storage: the order is
+// appended to dst[:0] and the scratch buffers are reused. A nil scratch
+// allocates fresh working storage. The produced order is identical to
+// TopoOrder's (Kahn with ID tie-breaking).
+func (c *Circuit) TopoOrderInto(dst []*Node, scratch *TopoScratch) ([]*Node, error) {
+	if scratch == nil {
+		scratch = &TopoScratch{}
+	}
+	scratch.grow(c.nextID)
+	indeg := scratch.indeg
+	// ready doubles as the FIFO of Kahn's algorithm: head walks it while
+	// newly-ready batches are sorted and appended at the tail.
+	ready := scratch.ready
+	next := scratch.next
 	for _, n := range c.Nodes {
-		if indeg[n] == 0 {
+		indeg[n.ID] = len(n.Fanin)
+		if len(n.Fanin) == 0 {
 			ready = append(ready, n)
 		}
 	}
 	sort.Slice(ready, func(i, j int) bool { return ready[i].ID < ready[j].ID })
-	order := make([]*Node, 0, len(c.Nodes))
-	for len(ready) > 0 {
-		n := ready[0]
-		ready = ready[1:]
+	order := dst[:0]
+	if cap(order) < len(c.Nodes) {
+		order = make([]*Node, 0, len(c.Nodes))
+	}
+	for head := 0; head < len(ready); head++ {
+		n := ready[head]
 		order = append(order, n)
-		next := make([]*Node, 0, len(n.Fanout))
+		next = next[:0]
 		for _, s := range n.Fanout {
-			indeg[s]--
-			if indeg[s] == 0 {
+			indeg[s.ID]--
+			if indeg[s.ID] == 0 {
 				next = append(next, s)
 			}
 		}
 		sort.Slice(next, func(i, j int) bool { return next[i].ID < next[j].ID })
 		ready = append(ready, next...)
 	}
+	scratch.ready = ready
+	scratch.next = next
 	if len(order) != len(c.Nodes) {
 		return nil, fmt.Errorf("netlist %s: cycle detected (%d of %d nodes ordered)",
 			c.Name, len(order), len(c.Nodes))
@@ -312,6 +375,7 @@ func (c *Circuit) Clone() *Circuit {
 	d := New(c.Name)
 	d.nextID = c.nextID
 	d.genSeq = c.genSeq
+	d.epoch = c.epoch
 	clone := make(map[*Node]*Node, len(c.Nodes))
 	for _, n := range c.Nodes {
 		m := &Node{ID: n.ID, Name: n.Name, Type: n.Type, CIn: n.CIn, CWire: n.CWire, Vt: n.Vt}

@@ -121,6 +121,9 @@ func CollapseInverterPairs(c *netlist.Circuit) int {
 					removeFanout(n, s)
 				}
 			}
+			// The pin moves above bypass the netlist mutators; mark the
+			// structural epoch before the dead inverters are collected.
+			c.MarkMutated()
 			first := inner[0]
 			c.RemoveIfDead(n)
 			c.RemoveIfDead(first)

@@ -45,7 +45,7 @@ func TestIncrementalMatchesFullAnalysis(t *testing.T) {
 			t.Fatalf("trial %d: incremental %g vs fresh %g", trial, res.WorstDelay, fresh.WorstDelay)
 		}
 		for _, n := range c.Gates() {
-			a, b := res.Timing[n], fresh.Timing[n]
+			a, b := res.Timing(n), fresh.Timing(n)
 			if math.Abs(a.TRise-b.TRise) > 1e-9*math.Max(1, b.TRise) ||
 				math.Abs(a.TFall-b.TFall) > 1e-9*math.Max(1, b.TFall) {
 				t.Fatalf("trial %d: node %s diverged: %+v vs %+v", trial, n.Name, a, b)
@@ -123,12 +123,12 @@ func TestIncrementalUpstreamLoadEffect(t *testing.T) {
 	gs := c.Gates()
 	mid := gs[2]
 	driver := gs[1]
-	before := res.Timing[driver]
+	before := res.Timing(driver)
 	mid.CIn *= 8
 	if _, err := res.Update(mid); err != nil {
 		t.Fatal(err)
 	}
-	after := res.Timing[driver]
+	after := res.Timing(driver)
 	if before.TauRise == after.TauRise && before.TauFall == after.TauFall {
 		t.Fatal("driver transitions unchanged despite load change")
 	}

@@ -90,7 +90,7 @@ func KWorstPaths(c *netlist.Circuit, m *delay.Model, cfg Config, k int) ([]Ranke
 		}
 		cell := s.Cell()
 		cl := s.FanoutCap() + cell.Parasitic(s.CIn)
-		dt := res.Timing[d]
+		dt := res.Timing(d)
 		if cell.Invert {
 			if rising {
 				return res.Model.GateDelayHLVt(cell, s.CIn, cl, dt.TauRise, s.Vt), false

@@ -10,56 +10,81 @@ import (
 
 // SlackReport carries required times and slacks against a delay
 // constraint — the "iterative timing verification" view the paper's
-// §1 mentions when sizing perturbs adjacent paths.
+// §1 mentions when sizing perturbs adjacent paths. Per-node values are
+// stored densely by Node.ID; use Required and Slack to read them.
 type SlackReport struct {
 	Tc float64
-	// Required maps each node to the latest arrival its output may
-	// have without violating Tc at any reachable output (worst edge).
-	Required map[*netlist.Node]float64
-	// Slack is Required − Arrival (worst edge); negative = violating.
-	Slack map[*netlist.Node]float64
 	// WorstSlack is the minimum slack over all nodes.
 	WorstSlack float64
 	// Violations counts nodes with negative slack.
 	Violations int
+
+	circuit  *netlist.Circuit
+	required []float64 // by Node.ID; +Inf = unconstrained
+	slack    []float64 // by Node.ID; +Inf = unconstrained
+}
+
+// Required returns the latest arrival the node's output may have
+// without violating Tc at any reachable output (worst edge); +Inf for
+// dangling (unconstrained) nodes.
+func (rep *SlackReport) Required(n *netlist.Node) float64 {
+	if n == nil || n.ID >= len(rep.required) {
+		return math.Inf(1)
+	}
+	return rep.required[n.ID]
+}
+
+// Slack returns Required − Arrival (worst edge); negative = violating,
+// +Inf = unconstrained.
+func (rep *SlackReport) Slack(n *netlist.Node) float64 {
+	if n == nil || n.ID >= len(rep.slack) {
+		return math.Inf(1)
+	}
+	return rep.slack[n.ID]
 }
 
 // Slacks computes required times by a backward pass over the frozen
 // arc delays of this analysis, against constraint tc at every primary
 // output. The returned report shares node identity with the circuit.
 func (r *Result) Slacks(tc float64) (*SlackReport, error) {
-	order, err := r.Circuit.TopoOrder()
-	if err != nil {
-		return nil, err
+	if r.epoch != r.Circuit.Epoch() {
+		return nil, ErrStaleAnalysis
 	}
+	order := r.order
+	idBound := r.Circuit.IDBound()
 	rep := &SlackReport{
 		Tc:         tc,
-		Required:   make(map[*netlist.Node]float64, len(order)),
-		Slack:      make(map[*netlist.Node]float64, len(order)),
 		WorstSlack: math.Inf(1),
+		circuit:    r.Circuit,
+		required:   make([]float64, idBound),
+		slack:      make([]float64, idBound),
 	}
 	// Edge-aware backward pass, matching the edge-aware forward pass:
 	// a rising output of n constrains against the sink's opposite (for
 	// inverting cells) or same (buffers) output edge. Collapsing edges
 	// to per-arc maxima would be pessimistic — alternation means a
 	// gate's worse edge need not chain with its successor's.
-	reqR := make(map[*netlist.Node]float64, len(order))
-	reqF := make(map[*netlist.Node]float64, len(order))
+	if cap(r.reqR) < idBound {
+		r.reqR = make([]float64, idBound)
+		r.reqF = make([]float64, idBound)
+	}
+	reqR := r.reqR[:idBound]
+	reqF := r.reqF[:idBound]
 	for i := len(order) - 1; i >= 0; i-- {
 		n := order[i]
 		if n.Type == gate.Output {
-			reqR[n], reqF[n] = tc, tc
+			reqR[n.ID], reqF[n.ID] = tc, tc
 			continue
 		}
 		rr, rf := math.Inf(1), math.Inf(1)
-		dt := r.Timing[n]
+		dt := r.timing[n.ID]
 		for _, s := range n.Fanout {
 			if s.Type == gate.Output {
-				if reqR[s] < rr {
-					rr = reqR[s]
+				if reqR[s.ID] < rr {
+					rr = reqR[s.ID]
 				}
-				if reqF[s] < rf {
-					rf = reqF[s]
+				if reqF[s.ID] < rf {
+					rf = reqF[s.ID]
 				}
 				continue
 			}
@@ -67,38 +92,38 @@ func (r *Result) Slacks(tc float64) (*SlackReport, error) {
 			cl := s.FanoutCap() + cell.Parasitic(s.CIn)
 			if cell.Invert {
 				// n rising → s falls; n falling → s rises.
-				if v := reqF[s] - r.Model.GateDelayHLVt(cell, s.CIn, cl, dt.TauRise, s.Vt); v < rr {
+				if v := reqF[s.ID] - r.Model.GateDelayHLVt(cell, s.CIn, cl, dt.TauRise, s.Vt); v < rr {
 					rr = v
 				}
-				if v := reqR[s] - r.Model.GateDelayLHVt(cell, s.CIn, cl, dt.TauFall, s.Vt); v < rf {
+				if v := reqR[s.ID] - r.Model.GateDelayLHVt(cell, s.CIn, cl, dt.TauFall, s.Vt); v < rf {
 					rf = v
 				}
 			} else {
-				if v := reqR[s] - r.Model.GateDelayLHVt(cell, s.CIn, cl, dt.TauRise, s.Vt); v < rr {
+				if v := reqR[s.ID] - r.Model.GateDelayLHVt(cell, s.CIn, cl, dt.TauRise, s.Vt); v < rr {
 					rr = v
 				}
-				if v := reqF[s] - r.Model.GateDelayHLVt(cell, s.CIn, cl, dt.TauFall, s.Vt); v < rf {
+				if v := reqF[s.ID] - r.Model.GateDelayHLVt(cell, s.CIn, cl, dt.TauFall, s.Vt); v < rf {
 					rf = v
 				}
 			}
 		}
-		reqR[n], reqF[n] = rr, rf
+		reqR[n.ID], reqF[n.ID] = rr, rf
 	}
 	for _, n := range order {
-		rr, rf := reqR[n], reqF[n]
+		rr, rf := reqR[n.ID], reqF[n.ID]
 		if math.IsInf(rr, 1) && math.IsInf(rf, 1) {
 			// Dangling logic: unconstrained.
-			rep.Required[n] = math.Inf(1)
-			rep.Slack[n] = math.Inf(1)
+			rep.required[n.ID] = math.Inf(1)
+			rep.slack[n.ID] = math.Inf(1)
 			continue
 		}
 		var aR, aF float64
 		if n.Type != gate.Input {
-			aR, aF = r.Timing[n].TRise, r.Timing[n].TFall
+			aR, aF = r.timing[n.ID].TRise, r.timing[n.ID].TFall
 		}
 		sl := math.Min(rr-aR, rf-aF)
-		rep.Required[n] = math.Min(rr, rf)
-		rep.Slack[n] = sl
+		rep.required[n.ID] = math.Min(rr, rf)
+		rep.slack[n.ID] = sl
 		if sl < rep.WorstSlack {
 			rep.WorstSlack = sl
 		}
@@ -119,7 +144,8 @@ func (rep *SlackReport) CriticalBySlack(k int) []*netlist.Node {
 		sl float64
 	}
 	var cands []cand
-	for n, sl := range rep.Slack {
+	for _, n := range rep.circuit.Nodes {
+		sl := rep.Slack(n)
 		if n.IsLogic() && !math.IsInf(sl, 1) {
 			cands = append(cands, cand{n, sl})
 		}

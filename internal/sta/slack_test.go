@@ -64,7 +64,7 @@ func TestSlacksOrderCriticalFirst(t *testing.T) {
 	}
 	// Slacks must be ordered.
 	for i := 1; i < len(worst); i++ {
-		if rep.Slack[worst[i]] < rep.Slack[worst[i-1]] {
+		if rep.Slack(worst[i]) < rep.Slack(worst[i-1]) {
 			t.Fatal("CriticalBySlack not ordered")
 		}
 	}
@@ -82,12 +82,12 @@ func TestSlacksConsistentWithArrival(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, n := range c.Gates() {
-		if math.IsInf(rep.Slack[n], 1) {
+		if math.IsInf(rep.Slack(n), 1) {
 			continue
 		}
-		pessimistic := rep.Required[n] - res.Timing[n].Worst()
-		if rep.Slack[n] < pessimistic-1e-9 {
-			t.Fatalf("%s: slack %g below pessimistic bound %g", n.Name, rep.Slack[n], pessimistic)
+		pessimistic := rep.Required(n) - res.Timing(n).Worst()
+		if rep.Slack(n) < pessimistic-1e-9 {
+			t.Fatalf("%s: slack %g below pessimistic bound %g", n.Name, rep.Slack(n), pessimistic)
 		}
 	}
 	// Shifting tc shifts every finite slack by the same amount.
@@ -97,10 +97,10 @@ func TestSlacksConsistentWithArrival(t *testing.T) {
 	}
 	shift := res.WorstDelay * 0.2
 	for _, n := range c.Gates() {
-		if math.IsInf(rep.Slack[n], 1) {
+		if math.IsInf(rep.Slack(n), 1) {
 			continue
 		}
-		if math.Abs(rep2.Slack[n]-rep.Slack[n]-shift) > 1e-9*res.WorstDelay {
+		if math.Abs(rep2.Slack(n)-rep.Slack(n)-shift) > 1e-9*res.WorstDelay {
 			t.Fatalf("%s: slack did not shift with tc", n.Name)
 		}
 	}

@@ -4,6 +4,14 @@
 // optimizers. Path selection follows the paper's POPS philosophy
 // (ref. [11-12]): only a user-limited number of worst paths is
 // extracted and optimized.
+//
+// Timing state is stored in dense slices indexed by netlist.Node.ID and
+// validated against the circuit's structural mutation epoch
+// (netlist.Circuit.Epoch): a Result knows which structure it was
+// computed on, incremental updates refuse stale structures with
+// ErrStaleAnalysis, and the reusable Session re-analyzes into the same
+// buffers so the optimizer's round loop performs no steady-state
+// allocation.
 package sta
 
 import (
@@ -40,13 +48,13 @@ type NodeTiming struct {
 // Worst returns the worse of the two arrival times.
 func (t NodeTiming) Worst() float64 { return math.Max(t.TRise, t.TFall) }
 
-// Result is the outcome of an STA run.
+// Result is the outcome of an STA run. Per-node state lives in dense
+// slices indexed by Node.ID; it is valid exactly while the circuit's
+// structural epoch matches the one recorded at analysis time.
 type Result struct {
 	Circuit *netlist.Circuit
 	Model   *delay.Model
 	Config  Config
-
-	Timing map[*netlist.Node]NodeTiming
 
 	// WorstDelay is the latest arrival over all primary outputs (ps);
 	// WorstOutput the pseudo-node where it occurs, WorstRising its edge.
@@ -54,61 +62,102 @@ type Result struct {
 	WorstOutput *netlist.Node
 	WorstRising bool
 
-	// pred records, per (node, output edge), the fanin whose arrival
-	// determined the worst arrival — the backtracking skeleton.
-	predRise map[*netlist.Node]*netlist.Node
-	predFall map[*netlist.Node]*netlist.Node
+	// epoch is Circuit.Epoch() at analysis time; staleEpoch marks a
+	// Result poisoned by a failed incremental update.
+	epoch uint64
+
+	// timing, predRise and predFall are indexed by Node.ID (dense up to
+	// Circuit.IDBound at analysis time). pred records, per (node,
+	// output edge), the fanin whose arrival determined the worst
+	// arrival — the backtracking skeleton.
+	timing   []NodeTiming
+	predRise []*netlist.Node
+	predFall []*netlist.Node
 
 	// order caches the topological order for incremental updates.
 	order []*netlist.Node
+
+	// Scratch reused across incremental updates and re-analyses.
+	dirty []bool
+	topo  netlist.TopoScratch
+	reqR  []float64 // backward-pass scratch (Slacks)
+	reqF  []float64
 }
 
 // Analyze runs slope-propagating STA over the circuit. The circuit must
 // be elaborated (primitive cells only) and acyclic.
 func Analyze(c *netlist.Circuit, m *delay.Model, cfg Config) (*Result, error) {
-	if !netlist.IsElaborated(c) {
-		return nil, fmt.Errorf("sta: circuit %s contains composite cells; run netlist.Elaborate first", c.Name)
-	}
-	order, err := c.TopoOrder()
-	if err != nil {
+	res := &Result{Circuit: c, Model: m, Config: cfg}
+	if err := res.analyze(); err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Circuit:  c,
-		Model:    m,
-		Config:   cfg,
-		Timing:   make(map[*netlist.Node]NodeTiming, len(order)),
-		predRise: make(map[*netlist.Node]*netlist.Node),
-		predFall: make(map[*netlist.Node]*netlist.Node),
-		order:    order,
+	return res, nil
+}
+
+// grow sizes the per-ID slices for the circuit's current ID bound,
+// reusing capacity, and clears the entries.
+func (r *Result) grow() {
+	n := r.Circuit.IDBound()
+	if cap(r.timing) < n {
+		r.timing = make([]NodeTiming, n)
+		r.predRise = make([]*netlist.Node, n)
+		r.predFall = make([]*netlist.Node, n)
+		r.dirty = make([]bool, n)
 	}
-	tauIn := cfg.inputTau(m.Proc)
-	res.WorstDelay = math.Inf(-1)
+	r.timing = r.timing[:n]
+	r.predRise = r.predRise[:n]
+	r.predFall = r.predFall[:n]
+	r.dirty = r.dirty[:n]
+	for i := range r.timing {
+		r.timing[i] = NodeTiming{}
+		r.predRise[i] = nil
+		r.predFall[i] = nil
+		r.dirty[i] = false
+	}
+}
+
+// analyze (re)runs the full forward pass in place, reusing the
+// Result's buffers. It records the circuit's current epoch on success.
+func (r *Result) analyze() error {
+	c := r.Circuit
+	if !netlist.IsElaborated(c) {
+		return fmt.Errorf("sta: circuit %s contains composite cells; run netlist.Elaborate first", c.Name)
+	}
+	order, err := c.TopoOrderInto(r.order, &r.topo)
+	if err != nil {
+		return err
+	}
+	r.order = order
+	r.grow()
+	tauIn := r.Config.inputTau(r.Model.Proc)
+	r.WorstDelay = math.Inf(-1)
+	r.WorstOutput = nil
 
 	for _, n := range order {
 		switch {
 		case n.Type == gate.Input:
-			res.Timing[n] = NodeTiming{TauRise: tauIn, TauFall: tauIn}
+			r.timing[n.ID] = NodeTiming{TauRise: tauIn, TauFall: tauIn}
 		case n.Type == gate.Output:
 			d := n.Fanin[0]
-			dt := res.Timing[d]
-			res.Timing[n] = dt
-			res.predRise[n] = d
-			res.predFall[n] = d
-			if dt.TRise > res.WorstDelay {
-				res.WorstDelay, res.WorstOutput, res.WorstRising = dt.TRise, n, true
+			dt := r.timing[d.ID]
+			r.timing[n.ID] = dt
+			r.predRise[n.ID] = d
+			r.predFall[n.ID] = d
+			if dt.TRise > r.WorstDelay {
+				r.WorstDelay, r.WorstOutput, r.WorstRising = dt.TRise, n, true
 			}
-			if dt.TFall > res.WorstDelay {
-				res.WorstDelay, res.WorstOutput, res.WorstRising = dt.TFall, n, false
+			if dt.TFall > r.WorstDelay {
+				r.WorstDelay, r.WorstOutput, r.WorstRising = dt.TFall, n, false
 			}
 		default:
-			res.analyzeGate(n)
+			r.analyzeGate(n)
 		}
 	}
-	if res.WorstOutput == nil {
-		return nil, fmt.Errorf("sta: circuit %s has no primary outputs", c.Name)
+	if r.WorstOutput == nil {
+		return fmt.Errorf("sta: circuit %s has no primary outputs", c.Name)
 	}
-	return res, nil
+	r.epoch = c.Epoch()
+	return nil
 }
 
 // analyzeGate computes the worst rise/fall arrivals of a logic node.
@@ -123,7 +172,7 @@ func (r *Result) analyzeGate(n *netlist.Node) {
 	tFall, tRise := math.Inf(-1), math.Inf(-1)
 	var pFall, pRise *netlist.Node
 	for _, d := range n.Fanin {
-		dt := r.Timing[d]
+		dt := r.timing[d.ID]
 		if cell.Invert {
 			// Input rising → output falling.
 			if t := dt.TRise + r.Model.GateDelayHLVt(cell, n.CIn, cl, dt.TauRise, n.Vt); t > tFall {
@@ -143,18 +192,42 @@ func (r *Result) analyzeGate(n *netlist.Node) {
 			}
 		}
 	}
-	r.Timing[n] = NodeTiming{TRise: tRise, TFall: tFall, TauRise: tauR, TauFall: tauF}
-	r.predRise[n] = pRise
-	r.predFall[n] = pFall
+	r.timing[n.ID] = NodeTiming{TRise: tRise, TFall: tFall, TauRise: tauR, TauFall: tauF}
+	r.predRise[n.ID] = pRise
+	r.predFall[n.ID] = pFall
 }
 
+// Timing returns the node's timing state. The node must belong to the
+// analyzed circuit; nodes created after the analysis (stale access)
+// return a zero NodeTiming.
+func (r *Result) Timing(n *netlist.Node) NodeTiming {
+	if n == nil || n.ID >= len(r.timing) {
+		return NodeTiming{}
+	}
+	return r.timing[n.ID]
+}
+
+// Epoch returns the structural epoch of the circuit this analysis was
+// computed on.
+func (r *Result) Epoch() uint64 { return r.epoch }
+
+// Fresh reports whether the analysis still matches the circuit's
+// structure (no structural mutation since the last analyze/update).
+func (r *Result) Fresh() bool { return r.epoch == r.Circuit.Epoch() }
+
 // ArrivalAt returns the worst arrival time at a node's output (ps).
-func (r *Result) ArrivalAt(n *netlist.Node) float64 { return r.Timing[n].Worst() }
+func (r *Result) ArrivalAt(n *netlist.Node) float64 { return r.Timing(n).Worst() }
 
 // CriticalNodes backtracks the worst path from the worst output to a
 // primary input, returning the logic nodes in signal order.
 func (r *Result) CriticalNodes() []*netlist.Node {
-	var rev []*netlist.Node
+	return r.AppendCriticalNodes(nil)
+}
+
+// AppendCriticalNodes is CriticalNodes appending into dst[:0], for
+// callers recycling the slice across rounds.
+func (r *Result) AppendCriticalNodes(dst []*netlist.Node) []*netlist.Node {
+	rev := dst[:0]
 	n := r.WorstOutput
 	rising := r.WorstRising
 	for n != nil {
@@ -163,9 +236,9 @@ func (r *Result) CriticalNodes() []*netlist.Node {
 		}
 		var p *netlist.Node
 		if rising {
-			p = r.predRise[n]
+			p = r.predRise[n.ID]
 		} else {
-			p = r.predFall[n]
+			p = r.predFall[n.ID]
 		}
 		if p != nil && n.IsLogic() && n.Cell().Invert {
 			rising = !rising
@@ -222,11 +295,15 @@ func CriticalPath(c *netlist.Circuit, m *delay.Model, cfg Config) (*delay.Path, 
 	if err != nil {
 		return nil, nil, err
 	}
+	return criticalPathFrom(res, m, cfg)
+}
+
+func criticalPathFrom(res *Result, m *delay.Model, cfg Config) (*delay.Path, *Result, error) {
 	nodes := res.CriticalNodes()
 	if len(nodes) == 0 {
-		return nil, nil, fmt.Errorf("sta: circuit %s has an empty critical path", c.Name)
+		return nil, nil, fmt.Errorf("sta: circuit %s has an empty critical path", res.Circuit.Name)
 	}
-	pa, err := PathFromNodes(c.Name+"/critical", nodes, m, cfg)
+	pa, err := PathFromNodes(res.Circuit.Name+"/critical", nodes, m, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

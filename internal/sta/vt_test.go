@@ -94,8 +94,8 @@ func TestVtIncrementalMatchesFull(t *testing.T) {
 		t.Fatalf("incremental worst %v, full %v", res.WorstDelay, fresh.WorstDelay)
 	}
 	for _, n := range c.Nodes {
-		if res.Timing[n] != fresh.Timing[n] {
-			t.Fatalf("node %s timing diverged: %+v vs %+v", n.Name, res.Timing[n], fresh.Timing[n])
+		if res.Timing(n) != fresh.Timing(n) {
+			t.Fatalf("node %s timing diverged: %+v vs %+v", n.Name, res.Timing(n), fresh.Timing(n))
 		}
 	}
 }

@@ -129,9 +129,29 @@ type (
 	STAConfig = sta.Config
 	// STAResult is a timing-analysis outcome.
 	STAResult = sta.Result
+	// TimingSession is a reusable incremental-STA view of one circuit:
+	// cached analyses validated against the netlist's structural
+	// mutation epoch, repaired in place after size/Vt writes, fully
+	// re-propagated into reused buffers after structural edits.
+	TimingSession = sta.Session
 	// BenchmarkSpec describes one suite benchmark.
 	BenchmarkSpec = iscas.Spec
 )
+
+// ErrStaleAnalysis reports use of a timing analysis after the circuit's
+// structure changed (re-exported from the sta layer). Run a fresh
+// Analyze — or hold the analysis through a TimingSession, which
+// refreshes automatically.
+var ErrStaleAnalysis = sta.ErrStaleAnalysis
+
+// NewTimingSession builds a reusable incremental timing session over an
+// elaborated circuit. Session-based drivers — Protocol.OptimizeSession
+// and the batch engine's tasks — analyze once and repair incrementally,
+// making repeated timing queries allocation-free; see STAResult.Update
+// and docs/ARCHITECTURE.md for the epoch semantics.
+func NewTimingSession(c *Circuit, m *Model) *TimingSession {
+	return sta.NewSession(c, m, sta.Config{})
+}
 
 // Constraint domains (Fig. 6/7).
 const (
