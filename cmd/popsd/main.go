@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	popsd [-addr :8080] [-workers N] [-max-rounds N]
+//	popsd [-addr :8080] [-workers N] [-max-rounds N] [-pprof-addr addr]
 //
 // Endpoints (see internal/engine's HTTP layer):
 //
@@ -19,6 +19,10 @@
 // "leakage": true to run the multi-Vt leakage pass after sizing and
 // report the dynamic/leakage/total power split. See docs/API.md for
 // the full request/response reference.
+//
+// -pprof-addr opens an additional net/http/pprof debug listener (e.g.
+// "localhost:6060") so a running daemon can be profiled in place; it
+// is off by default and should never be exposed publicly.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -41,15 +46,29 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size")
 	maxRounds := flag.Int("max-rounds", 0, "per-circuit protocol round bound (0: library default)")
+	pprofAddr := flag.String("pprof-addr", "", "listen address of the opt-in net/http/pprof debug endpoint (empty: disabled)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *maxRounds); err != nil {
+	if err := run(*addr, *workers, *maxRounds, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "popsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxRounds int) error {
+// pprofMux mounts the standard net/http/pprof handlers on a dedicated
+// mux, so the debug listener exposes exactly the profiling routes and
+// nothing that may have been registered on http.DefaultServeMux.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(addr string, workers, maxRounds int, pprofAddr string) error {
 	eng, err := engine.New(engine.Config{Workers: workers, MaxRounds: maxRounds})
 	if err != nil {
 		return err
@@ -71,6 +90,21 @@ func run(addr string, workers, maxRounds int) error {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	var pprofSrv *http.Server
+	if pprofAddr != "" {
+		pprofSrv = &http.Server{
+			Addr:              pprofAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("popsd: pprof debug endpoint on %s", pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("popsd: pprof listener: %v", err)
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		return err
@@ -80,6 +114,12 @@ func run(addr string, workers, maxRounds int) error {
 	log.Printf("popsd: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
+	if pprofSrv != nil {
+		// Close, not Shutdown: a debug endpoint needs no graceful drain,
+		// and a long-running profile request must not eat the 15 s
+		// budget the API jobs' drain depends on.
+		_ = pprofSrv.Close()
+	}
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}

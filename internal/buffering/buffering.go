@@ -273,6 +273,10 @@ type Result struct {
 // minimum delay. The best configuration found is returned (possibly
 // the unbuffered one).
 func MinDelayWithBuffers(m *delay.Model, pa *delay.Path, limits map[gate.Type]float64, opts sizing.Options) (*Result, error) {
+	// Private solver scratch for the trial Tmin runs. The caller's
+	// workspace (if any) is deliberately not reused: the caller may hold
+	// live results in it across this call.
+	opts.Workspace = &sizing.Workspace{}
 	// structure keeps the incoming sizes (+ CREF buffers) for
 	// detection; best keeps the sized champion.
 	structure := pa.Clone()
@@ -351,11 +355,19 @@ const (
 // if it reduces the achievable delay. ErrInfeasible is returned when
 // even the buffered structure cannot reach tc.
 func DistributeWithBuffers(m *delay.Model, pa *delay.Path, tc float64, limits map[gate.Type]float64, mode Mode, opts sizing.Options) (*Result, error) {
+	// Private solver scratch shared by every insertion trial; the
+	// caller's own workspace (if any) may hold live results and is not
+	// touched. Results are decoupled from the scratch slot right away —
+	// the adoption loop compares a fresh probe against the retained
+	// champion, which must not alias it.
+	opts.Workspace = &sizing.Workspace{}
 	distribute := func(q *delay.Path) (*sizing.Result, error) {
-		if mode == Global {
-			return sizing.Distribute(m, q, tc, opts)
+		r, err := distributeOnce(m, q, tc, mode, opts)
+		if r != nil {
+			rv := *r
+			r = &rv
 		}
-		return distributeFrozenBuffers(m, q, tc, opts)
+		return r, err
 	}
 
 	bestPath := pa.Clone()
@@ -417,6 +429,15 @@ func DistributeWithBuffers(m *delay.Model, pa *delay.Path, tc float64, limits ma
 	return out, nil
 }
 
+// distributeOnce dispatches one constraint distribution according to
+// the buffer-sizing mode.
+func distributeOnce(m *delay.Model, q *delay.Path, tc float64, mode Mode, opts sizing.Options) (*sizing.Result, error) {
+	if mode == Global {
+		return sizing.Distribute(m, q, tc, opts)
+	}
+	return distributeFrozenBuffers(m, q, tc, opts)
+}
+
 // sizeInsertedLocally golden-sections the single inserted buffer at
 // position idx for minimum path delay, holding everything else fixed.
 func sizeInsertedLocally(m *delay.Model, pa *delay.Path, idx int) {
@@ -453,11 +474,15 @@ func sizeInsertedLocally(m *delay.Model, pa *delay.Path, idx int) {
 
 // solveFrozen runs the eq. (6) forward recursion at sensitivity a,
 // skipping the inserted stages (their sizes are pinned), and returns
-// the worst-edge delay.
-func solveFrozen(m *delay.Model, pa *delay.Path, a float64) float64 {
+// the worst-edge delay. bbuf is the reused B-coefficient scratch — the
+// recursion refreshes B every sweep, and the frozen-buffer bisection
+// calls solveFrozen hundreds of times per distribution, so this buffer
+// used to dominate the whole round loop's allocation profile.
+func solveFrozen(m *delay.Model, pa *delay.Path, a float64, bbuf *[]float64) float64 {
 	n := len(pa.Stages)
 	for sweep := 0; sweep < 120; sweep++ {
-		b := m.BCoefficients(pa)
+		*bbuf = m.BCoefficientsInto(*bbuf, pa)
+		b := *bbuf
 		maxRel := 0.0
 		for i := 1; i < n; i++ {
 			if pa.Stages[i].Inserted {
@@ -490,6 +515,9 @@ func solveFrozen(m *delay.Model, pa *delay.Path, a float64) float64 {
 // bisection on the sensitivity a with the buffers pinned.
 func distributeFrozenBuffers(m *delay.Model, pa *delay.Path, tc float64, opts sizing.Options) (*sizing.Result, error) {
 	_ = opts
+	// One B-coefficient scratch serves every solveFrozen sweep of this
+	// distribution (hundreds of bisection probes × up to 120 sweeps).
+	var bbuf []float64
 	var res *sizing.Result
 	for round := 0; round < 3; round++ {
 		// (a) local buffer sizing against the current sizes.
@@ -499,7 +527,7 @@ func distributeFrozenBuffers(m *delay.Model, pa *delay.Path, tc float64, opts si
 			}
 		}
 		// (b) frozen-buffer sensitivity bisection.
-		if d := solveFrozen(m, pa, 0); d > tc {
+		if d := solveFrozen(m, pa, 0, &bbuf); d > tc {
 			// Even the frozen minimum misses tc this round; try the
 			// next round's buffer re-size, or report the shortfall.
 			res = &sizing.Result{Delay: d, MeanDelay: m.PathDelayMean(pa), Area: pa.Area(m.Proc), A: 0}
@@ -507,20 +535,20 @@ func distributeFrozenBuffers(m *delay.Model, pa *delay.Path, tc float64, opts si
 		}
 		aLo, aHi := -1e-4, 0.0
 		for range [64]int{} {
-			if solveFrozen(m, pa, aLo) >= tc {
+			if solveFrozen(m, pa, aLo, &bbuf) >= tc {
 				break
 			}
 			aLo *= 4
 		}
 		for iter := 0; iter < 70; iter++ {
 			mid := (aLo + aHi) / 2
-			if solveFrozen(m, pa, mid) > tc {
+			if solveFrozen(m, pa, mid, &bbuf) > tc {
 				aLo = mid
 			} else {
 				aHi = mid
 			}
 		}
-		d := solveFrozen(m, pa, aHi)
+		d := solveFrozen(m, pa, aHi, &bbuf)
 		res = &sizing.Result{Delay: d, MeanDelay: m.PathDelayMean(pa), Area: pa.Area(m.Proc), A: aHi}
 	}
 	if res == nil {

@@ -144,30 +144,96 @@ type PathOutcome struct {
 	Path     *delay.Path
 }
 
+// stepWorkspace is the reusable per-round scratch of the session
+// driver: path copies, critical-node and sizing buffers, and the
+// StepResult/PathOutcome values themselves. One workspace serves one
+// OptimizeSession run (and must not be shared across goroutines), so a
+// steady-state size-only round performs no heap allocation — pinned by
+// TestOptimizeStepSteadyStateAllocationFree. Structural rounds (buffer
+// replay, De Morgan rewrites) still allocate for their mutations.
+type stepWorkspace struct {
+	sizing    sizing.Workspace
+	crit      []*netlist.Node // critical-path extraction buffer
+	changed   []*netlist.Node // incremental-update node buffer
+	path      delay.Path      // extracted worst path
+	tmaxPath  delay.Path      // Tmax throwaway copy
+	work      delay.Path      // Tmin/Distribute working copy
+	plain     delay.Path      // plain-sizing comparison copy
+	outcome   PathOutcome
+	step      StepResult
+	pathNames []string // per-round path names, formatted once up front
+}
+
+// roundName returns the "<circuit>/round<N>" path name for a round,
+// identical to the workspace-free OptimizeStep's naming. All MaxRounds
+// names are formatted on first use, so steady-state rounds pay no
+// Sprintf; indices past the precomputed window (possible only for
+// external drivers that loop beyond MaxRounds) fall back to formatting.
+func (ws *stepWorkspace) roundName(circuit string, round, maxRounds int) string {
+	if ws.pathNames == nil {
+		n := maxRounds
+		if n <= round {
+			n = round + 1
+		}
+		ws.pathNames = make([]string, n)
+		for i := range ws.pathNames {
+			ws.pathNames[i] = fmt.Sprintf("%s/round%d", circuit, i)
+		}
+	}
+	if round < len(ws.pathNames) {
+		return ws.pathNames[round]
+	}
+	return fmt.Sprintf("%s/round%d", circuit, round)
+}
+
 // OptimizePath runs the Fig. 7 decision diagram on a bounded path for
 // constraint tc. The input path is not modified; the outcome carries
 // the optimized copy.
 func (p *Protocol) OptimizePath(pa *delay.Path, tc float64) (*PathOutcome, error) {
+	return p.optimizePath(nil, pa, tc)
+}
+
+// optimizePath is OptimizePath over an optional workspace. With ws set,
+// path copies and sizing results live in reused buffers, the sizing
+// iteration trace is suppressed (pure observation — identical numbers),
+// and the returned outcome points into the workspace: it is valid until
+// the next round. The buffering optimizer keeps allocating its own
+// structures either way (its calls receive a workspace-free Options so
+// its internal sizing runs cannot alias the round's live results).
+func (p *Protocol) optimizePath(ws *stepWorkspace, pa *delay.Path, tc float64) (*PathOutcome, error) {
 	m := p.cfg.Model
+	opts := p.cfg.Sizing
+	var out *PathOutcome
+	var tmaxPath, work *delay.Path
+	if ws != nil {
+		opts.NoTrace = true
+		opts.Workspace = &ws.sizing
+		tmaxPath = pa.CopyInto(&ws.tmaxPath)
+		work = pa.CopyInto(&ws.work)
+		out = &ws.outcome
+		*out = PathOutcome{}
+	} else {
+		tmaxPath = pa.Clone()
+		work = pa.Clone()
+		out = &PathOutcome{}
+	}
+	bufOpts := opts
+	bufOpts.Workspace = nil
 
 	// Delay bounds: Tmax on a throwaway copy, Tmin on the working copy.
-	tmaxPath := pa.Clone()
 	tmax := sizing.Tmax(m, tmaxPath)
-	work := pa.Clone()
-	rmin, err := sizing.Tmin(m, work, p.cfg.Sizing)
+	rmin, err := sizing.Tmin(m, work, opts)
 	if err != nil {
 		return nil, err
 	}
-	out := &PathOutcome{
-		Tmin: rmin.Delay,
-		Tmax: tmax,
-		Tc:   tc,
-	}
+	out.Tmin = rmin.Delay
+	out.Tmax = tmax
+	out.Tc = tc
 	out.Domain = Classify(tc, rmin.Delay)
 
 	switch out.Domain {
 	case Weak:
-		res, err := sizing.Distribute(m, work, tc, p.cfg.Sizing)
+		res, err := sizing.Distribute(m, work, tc, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -177,12 +243,12 @@ func (p *Protocol) OptimizePath(pa *delay.Path, tc float64) (*PathOutcome, error
 	case Medium:
 		// Sizing meets the constraint; buffer insertion may do so at
 		// lower area (load dilution lets the gates shrink).
-		plain := pa.Clone()
-		resPlain, err := sizing.Distribute(m, plain, tc, p.cfg.Sizing)
+		plain := clonePlain(ws, pa)
+		resPlain, err := sizing.Distribute(m, plain, tc, opts)
 		if err != nil {
 			return nil, err
 		}
-		buf, errBuf := buffering.DistributeWithBuffers(m, pa, tc, p.cfg.Limits, buffering.Local, p.cfg.Sizing)
+		buf, errBuf := buffering.DistributeWithBuffers(m, pa, tc, p.cfg.Limits, buffering.Local, bufOpts)
 		if errBuf == nil && buf.Delay <= tc*(1+1e-6) && buf.Area < resPlain.Area {
 			out.fill("buffer-insertion", buf.Path, buf.Delay, buf.Area, buf.Inserted, true)
 			return out, nil
@@ -191,12 +257,12 @@ func (p *Protocol) OptimizePath(pa *delay.Path, tc float64) (*PathOutcome, error
 		return out, nil
 
 	case Hard:
-		plain := pa.Clone()
-		resPlain, err := sizing.Distribute(m, plain, tc, p.cfg.Sizing)
+		plain := clonePlain(ws, pa)
+		resPlain, err := sizing.Distribute(m, plain, tc, opts)
 		if err != nil {
 			return nil, err
 		}
-		buf, errBuf := buffering.DistributeWithBuffers(m, pa, tc, p.cfg.Limits, buffering.Global, p.cfg.Sizing)
+		buf, errBuf := buffering.DistributeWithBuffers(m, pa, tc, p.cfg.Limits, buffering.Global, bufOpts)
 		if errBuf == nil && buf.Delay <= tc*(1+1e-6) && buf.Area < resPlain.Area {
 			out.fill("buffer-insertion+global-sizing", buf.Path, buf.Delay, buf.Area, buf.Inserted, true)
 			return out, nil
@@ -205,12 +271,12 @@ func (p *Protocol) OptimizePath(pa *delay.Path, tc float64) (*PathOutcome, error
 		return out, nil
 
 	default: // Infeasible: structure modification.
-		best, err := buffering.MinDelayWithBuffers(m, pa, p.cfg.Limits, p.cfg.Sizing)
+		best, err := buffering.MinDelayWithBuffers(m, pa, p.cfg.Limits, bufOpts)
 		if err != nil {
 			return nil, err
 		}
 		if best.Delay <= tc {
-			res, err := sizing.Distribute(m, best.Path, tc, p.cfg.Sizing)
+			res, err := sizing.Distribute(m, best.Path, tc, opts)
 			if err != nil && !isInfeasible(err) {
 				return nil, err
 			}
@@ -225,6 +291,15 @@ func (p *Protocol) OptimizePath(pa *delay.Path, tc float64) (*PathOutcome, error
 		out.fill("structure-modification-required", best.Path, best.Delay, best.Area, best.Inserted, false)
 		return out, nil
 	}
+}
+
+// clonePlain copies pa into the workspace's plain-sizing buffer, or
+// clones it fresh without a workspace.
+func clonePlain(ws *stepWorkspace, pa *delay.Path) *delay.Path {
+	if ws != nil {
+		return pa.CopyInto(&ws.plain)
+	}
+	return pa.Clone()
 }
 
 func (o *PathOutcome) fill(method string, pa *delay.Path, d, a float64, buffers int, feasible bool) {
@@ -314,30 +389,61 @@ func (p *Protocol) NewTimingSession(c *netlist.Circuit) *sta.Session {
 // cancellation checks and progress reporting while remaining
 // result-identical to OptimizeCircuit.
 func (p *Protocol) OptimizeStep(sess *sta.Session, tc float64, round int) (*StepResult, error) {
+	return p.optimizeStep(nil, sess, tc, round)
+}
+
+// optimizeStep is OptimizeStep over an optional workspace: with ws set,
+// the critical path, its bounded-path object, the sizing scratch and
+// the returned StepResult/PathOutcome all live in reused buffers, so a
+// size-only round allocates nothing. The returned result is valid
+// until the next optimizeStep call with the same workspace — the
+// session loop copies what it keeps.
+func (p *Protocol) optimizeStep(ws *stepWorkspace, sess *sta.Session, tc float64, round int) (*StepResult, error) {
 	m := p.cfg.Model
 	c := sess.Circuit()
 	res, err := sess.Analyze()
 	if err != nil {
 		return nil, err
 	}
-	if res.WorstDelay <= tc {
-		return &StepResult{Met: true, WorstDelay: res.WorstDelay}, nil
+	var st *StepResult
+	if ws != nil {
+		st = &ws.step
+		*st = StepResult{}
+	} else {
+		st = &StepResult{}
 	}
-	st := &StepResult{WorstDelay: res.WorstDelay}
+	st.WorstDelay = res.WorstDelay
+	if res.WorstDelay <= tc {
+		st.Met = true
+		return st, nil
+	}
 	tighten := stepSlack * float64(1+round)
 	if tighten > 0.02 {
 		tighten = 0.02
 	}
 	tcEff := tc * (1 - tighten)
-	nodes := res.CriticalNodes()
-	if len(nodes) == 0 {
-		return nil, fmt.Errorf("core: circuit %s has no critical path", c.Name)
+	var pa *delay.Path
+	if ws != nil {
+		ws.crit = res.AppendCriticalNodes(ws.crit)
+		if len(ws.crit) == 0 {
+			return nil, fmt.Errorf("core: circuit %s has no critical path", c.Name)
+		}
+		name := ws.roundName(c.Name, round, p.cfg.MaxRounds)
+		if err := sta.PathFromNodesInto(&ws.path, name, ws.crit, m, p.cfg.STA); err != nil {
+			return nil, err
+		}
+		pa = &ws.path
+	} else {
+		nodes := res.CriticalNodes()
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("core: circuit %s has no critical path", c.Name)
+		}
+		pa, err = sta.PathFromNodes(fmt.Sprintf("%s/round%d", c.Name, round), nodes, m, p.cfg.STA)
+		if err != nil {
+			return nil, err
+		}
 	}
-	pa, err := sta.PathFromNodes(fmt.Sprintf("%s/round%d", c.Name, round), nodes, m, p.cfg.STA)
-	if err != nil {
-		return nil, err
-	}
-	po, err := p.OptimizePath(pa, tcEff)
+	po, err := p.optimizePath(ws, pa, tcEff)
 	if err != nil {
 		return nil, err
 	}
@@ -367,11 +473,24 @@ func (p *Protocol) OptimizeStep(sess *sta.Session, tc float64, round int) (*Step
 	// gates; after structural mutations the epoch has moved and the next
 	// Analyze re-propagates the whole circuit into the same buffers.
 	if res.Fresh() {
-		if _, err := res.Update(logicNodes(po.Path)...); err != nil {
+		changed := appendLogicNodes(wsChanged(ws), po.Path)
+		if ws != nil {
+			ws.changed = changed
+		}
+		if _, err := res.Update(changed...); err != nil {
 			return nil, err
 		}
 	}
 	return st, nil
+}
+
+// wsChanged returns the workspace's incremental-update buffer
+// (truncated), or nil without a workspace.
+func wsChanged(ws *stepWorkspace) []*netlist.Node {
+	if ws == nil {
+		return nil
+	}
+	return ws.changed[:0]
 }
 
 // Summarize closes a stepped run: it re-analyzes the circuit (served
@@ -412,13 +531,20 @@ func (p *Protocol) OptimizeCircuitContext(ctx context.Context, c *netlist.Circui
 // same steps over one reusable timing session, so results are
 // byte-identical regardless of the driver. The session (usually from
 // NewTimingSession) must be configured like the protocol's own STA.
+//
+// The loop owns a step workspace: every round's path extraction,
+// sizing scratch and result values live in buffers reused across
+// rounds, so a steady-state size-only round performs no heap
+// allocation; only the retained per-round PathOutcome record is copied
+// out of the workspace.
 func (p *Protocol) OptimizeSession(ctx context.Context, sess *sta.Session, tc float64) (*CircuitOutcome, error) {
+	ws := &stepWorkspace{}
 	out := &CircuitOutcome{Tc: tc}
 	for round := 0; round < p.cfg.MaxRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		st, err := p.OptimizeStep(sess, tc, round)
+		st, err := p.optimizeStep(ws, sess, tc, round)
 		if err != nil {
 			return nil, err
 		}
@@ -426,7 +552,11 @@ func (p *Protocol) OptimizeSession(ctx context.Context, sess *sta.Session, tc fl
 			out.Feasible = true
 			break
 		}
-		out.PathOutcomes = append(out.PathOutcomes, st.Outcome)
+		// The workspace recycles its PathOutcome (and its Path) next
+		// round: copy the record before retaining it.
+		po := *st.Outcome
+		po.Path = st.Outcome.Path.Clone()
+		out.PathOutcomes = append(out.PathOutcomes, &po)
 		out.Rounds = round + 1
 		out.Buffers += st.Buffers
 		out.NorRewrites += st.NorRewrites
@@ -485,13 +615,17 @@ func (p *Protocol) OptimizeWithLeakageSession(ctx context.Context, sess *sta.Ses
 
 // logicNodes returns the netlist nodes of the path's original stages.
 func logicNodes(pa *delay.Path) []*netlist.Node {
-	var ns []*netlist.Node
+	return appendLogicNodes(nil, pa)
+}
+
+// appendLogicNodes is logicNodes into a recycled buffer.
+func appendLogicNodes(dst []*netlist.Node, pa *delay.Path) []*netlist.Node {
 	for i := range pa.Stages {
 		if n := pa.Stages[i].Node; n != nil {
-			ns = append(ns, n)
+			dst = append(dst, n)
 		}
 	}
-	return ns
+	return dst
 }
 
 // replayBuffers mirrors the path's inserted inverter stages into the

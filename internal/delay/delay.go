@@ -140,9 +140,17 @@ func DefaultTauIn(p *tech.Process) float64 {
 // Clone returns a deep copy of the path (stages are values; Node
 // backlinks are shared).
 func (pa *Path) Clone() *Path {
-	q := &Path{Name: pa.Name, TauIn: pa.TauIn}
-	q.Stages = append([]Stage(nil), pa.Stages...)
-	return q
+	return pa.CopyInto(&Path{})
+}
+
+// CopyInto is Clone into caller-owned storage: dst's stage slice is
+// reused (truncated and refilled), so a working copy recycled across
+// optimizer rounds costs no steady-state allocation. It returns dst.
+func (pa *Path) CopyInto(dst *Path) *Path {
+	dst.Name = pa.Name
+	dst.TauIn = pa.TauIn
+	dst.Stages = append(dst.Stages[:0], pa.Stages...)
+	return dst
 }
 
 // Len returns the number of stages.
@@ -155,6 +163,15 @@ func (pa *Path) Sizes() []float64 {
 		x[i] = pa.Stages[i].CIn
 	}
 	return x
+}
+
+// AppendSizes is Sizes appending into dst, for callers recycling a
+// snapshot buffer (pass dst[:0] to overwrite in place).
+func (pa *Path) AppendSizes(dst []float64) []float64 {
+	for i := range pa.Stages {
+		dst = append(dst, pa.Stages[i].CIn)
+	}
+	return dst
 }
 
 // SetSizes overwrites the stage input capacitances. The first stage is
@@ -280,8 +297,20 @@ func (m *Model) PathDelayWorst(pa *Path) float64 {
 // sizes; the optimizers re-freeze it on every sweep, so the fixed point
 // of the link equations is the true stationary point.
 func (m *Model) BCoefficients(pa *Path) []float64 {
+	return m.BCoefficientsInto(nil, pa)
+}
+
+// BCoefficientsInto is BCoefficients into caller storage: the
+// coefficients land in dst (grown only when its capacity is short) and
+// the used slice is returned. The sizing solvers recompute B on every
+// sweep, so a recycled buffer removes the dominant per-sweep
+// allocation of the hot round loop.
+func (m *Model) BCoefficientsInto(dst []float64, pa *Path) []float64 {
 	n := len(pa.Stages)
-	b := make([]float64, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	b := dst[:n]
 	for i := range pa.Stages {
 		st := &pa.Stages[i]
 		cl := pa.LoadAt(i)

@@ -340,6 +340,62 @@ func mustLen(t Type, in []bool, n int) {
 	}
 }
 
+// EvalWord is Eval on 64 packed evaluations at once: bit j of every
+// input word is the value of input pin i in evaluation j, and bit j of
+// the returned word is the cell's output for that evaluation. All
+// library functions are bitwise (AND/OR/XOR trees plus inversion), so
+// one machine word evaluates 64 random vectors of the power
+// simulation for the cost of one — the word-parallel fast path behind
+// power.SimulateProfile. It panics on non-logic types and wrong input
+// counts, mirroring Eval.
+func EvalWord(t Type, in []uint64) uint64 {
+	switch t {
+	case Inv:
+		mustLenWord(t, in, 1)
+		return ^in[0]
+	case Buf, Output:
+		mustLenWord(t, in, 1)
+		return in[0]
+	case Nand2, Nand3, Nand4:
+		return ^allOnes(in)
+	case And2, And3, And4:
+		return allOnes(in)
+	case Nor2, Nor3, Nor4:
+		return ^anyOnes(in)
+	case Or2, Or3, Or4:
+		return anyOnes(in)
+	case Xor2:
+		mustLenWord(t, in, 2)
+		return in[0] ^ in[1]
+	case Xnor2:
+		mustLenWord(t, in, 2)
+		return ^(in[0] ^ in[1])
+	}
+	panic(fmt.Sprintf("gate: EvalWord on non-logic type %v", t))
+}
+
+func mustLenWord(t Type, in []uint64, n int) {
+	if len(in) != n {
+		panic(fmt.Sprintf("gate: %v expects %d inputs, got %d", t, n, len(in)))
+	}
+}
+
+func allOnes(in []uint64) uint64 {
+	w := ^uint64(0)
+	for _, v := range in {
+		w &= v
+	}
+	return w
+}
+
+func anyOnes(in []uint64) uint64 {
+	var w uint64
+	for _, v := range in {
+		w |= v
+	}
+	return w
+}
+
 func allTrue(in []bool) bool {
 	for _, v := range in {
 		if !v {

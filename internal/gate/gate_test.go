@@ -279,3 +279,86 @@ func TestPrimitivesStable(t *testing.T) {
 		}
 	}
 }
+
+// TestEvalWordMatchesEval exhausts every logic cell over all input
+// combinations at every bit position: lane j carries the combo and
+// every other lane its complement, so a result that leaks across
+// lanes (or ignores the lane position) cannot pass.
+func TestEvalWordMatchesEval(t *testing.T) {
+	types := append(Primitives(), Composites()...)
+	types = append(types, Output)
+	for _, typ := range types {
+		fanIn := 1
+		if IsLogic(typ) {
+			fanIn = MustLookup(typ).FanIn
+		}
+		scalar := make([]bool, fanIn)
+		inverse := make([]bool, fanIn)
+		words := make([]uint64, fanIn)
+		for combo := 0; combo < 1<<uint(fanIn); combo++ {
+			for i := 0; i < fanIn; i++ {
+				scalar[i] = (combo>>uint(i))&1 == 1
+				inverse[i] = !scalar[i]
+			}
+			want := Eval(typ, scalar)
+			wantInv := Eval(typ, inverse)
+			for j := uint(0); j < 64; j++ {
+				for i := 0; i < fanIn; i++ {
+					if scalar[i] {
+						words[i] = 1 << j
+					} else {
+						words[i] = ^(uint64(1) << j)
+					}
+				}
+				got := EvalWord(typ, words)
+				if (got>>j)&1 == 1 != want {
+					t.Fatalf("%v combo=%b lane %d: EvalWord %v, Eval %v", typ, combo, j, (got>>j)&1 == 1, want)
+				}
+				other := (j + 1) % 64
+				if (got>>other)&1 == 1 != wantInv {
+					t.Fatalf("%v combo=%b complement lane %d: EvalWord %v, Eval %v",
+						typ, combo, other, (got>>other)&1 == 1, wantInv)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalWordMixedLanes packs two different input combinations into
+// one word and checks each lane independently — the cross-lane
+// isolation the bit-parallel simulator relies on.
+func TestEvalWordMixedLanes(t *testing.T) {
+	for _, typ := range append(Primitives(), Composites()...) {
+		fanIn := MustLookup(typ).FanIn
+		total := 1 << uint(fanIn)
+		words := make([]uint64, fanIn)
+		for lane := 0; lane < 64; lane++ {
+			combo := lane % total
+			for i := 0; i < fanIn; i++ {
+				if (combo>>uint(i))&1 == 1 {
+					words[i] |= 1 << uint(lane)
+				}
+			}
+		}
+		got := EvalWord(typ, words)
+		scalar := make([]bool, fanIn)
+		for lane := 0; lane < 64; lane++ {
+			combo := lane % total
+			for i := 0; i < fanIn; i++ {
+				scalar[i] = (combo>>uint(i))&1 == 1
+			}
+			if want := Eval(typ, scalar); (got>>uint(lane))&1 == 1 != want {
+				t.Fatalf("%v lane %d combo %b: EvalWord %v, Eval %v", typ, lane, combo, (got>>uint(lane))&1 == 1, want)
+			}
+		}
+	}
+}
+
+func TestEvalWordPanicsOnNonLogic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvalWord(Input) did not panic")
+		}
+	}()
+	EvalWord(Input, []uint64{0})
+}

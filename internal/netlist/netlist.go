@@ -11,7 +11,6 @@ package netlist
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/gate"
 	"repro/internal/tech"
@@ -341,7 +340,7 @@ func (c *Circuit) TopoOrderInto(dst []*Node, scratch *TopoScratch) ([]*Node, err
 			ready = append(ready, n)
 		}
 	}
-	sort.Slice(ready, func(i, j int) bool { return ready[i].ID < ready[j].ID })
+	sortNodesByID(ready)
 	order := dst[:0]
 	if cap(order) < len(c.Nodes) {
 		order = make([]*Node, 0, len(c.Nodes))
@@ -356,7 +355,7 @@ func (c *Circuit) TopoOrderInto(dst []*Node, scratch *TopoScratch) ([]*Node, err
 				next = append(next, s)
 			}
 		}
-		sort.Slice(next, func(i, j int) bool { return next[i].ID < next[j].ID })
+		sortNodesByID(next)
 		ready = append(ready, next...)
 	}
 	scratch.ready = ready
@@ -366,6 +365,23 @@ func (c *Circuit) TopoOrderInto(dst []*Node, scratch *TopoScratch) ([]*Node, err
 			c.Name, len(order), len(c.Nodes))
 	}
 	return order, nil
+}
+
+// sortNodesByID orders nodes by ascending ID in place. Insertion sort
+// on purpose: Kahn frontiers are small and usually already ID-ordered
+// (nodes enter in creation order), and unlike sort.Slice it allocates
+// nothing — the sort's closure/swapper used to show up in re-analysis
+// allocation profiles.
+func sortNodesByID(ns []*Node) {
+	for i := 1; i < len(ns); i++ {
+		n := ns[i]
+		j := i - 1
+		for j >= 0 && ns[j].ID > n.ID {
+			ns[j+1] = ns[j]
+			j--
+		}
+		ns[j+1] = n
+	}
 }
 
 // Clone returns a deep copy of the circuit, preserving node names, IDs,

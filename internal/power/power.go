@@ -13,11 +13,15 @@
 // simulation of the netlist under random input vectors: toggle counts
 // give the activities, state counts give the output-high
 // probabilities, so every estimate reflects the circuit's real signal
-// statistics rather than a flat default.
+// statistics rather than a flat default. The simulation is
+// bit-parallel — 64 vectors per machine word over dense Node.ID-indexed
+// state (see simulate) — and bit-identical to the retained scalar
+// reference.
 package power
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/gate"
@@ -72,11 +76,110 @@ type Estimate struct {
 // with probability o.InputActivity between consecutive cycles, and the
 // circuit is re-evaluated in topological order. It returns per-node
 // toggle counts (net changed value between consecutive cycles) and
-// high counts (net sampled at logic one), both over o.Vectors cycles —
-// the common substrate of the dynamic (activity) and static
-// (state-probability) estimators. The RNG consumption is part of the
-// deterministic contract: Activities keeps its historical stream.
-func simulate(c *netlist.Circuit, o Options) ([]*netlist.Node, map[*netlist.Node]int, map[*netlist.Node]int, error) {
+// high counts (net sampled at logic one), both over o.Vectors cycles
+// and indexed densely by Node.ID — the common substrate of the dynamic
+// (activity) and static (state-probability) estimators.
+//
+// The evaluation is bit-parallel: 64 vectors are packed per machine
+// word, gates are evaluated word-wise through gate.EvalWord, toggle
+// counts fall out of popcount(cur XOR (cur<<1 | carry)) with the carry
+// bit threading the last vector of the previous word across chunk
+// boundaries, and high counts out of popcount(cur). The input-flip
+// stream draws the RNG in the exact per-vector order of the historical
+// scalar loop (one Intn(2) per input to seed, then one Float64 per
+// input per vector), so toggle and high counts — and every Activities,
+// StateProbabilities and leakage figure derived from them — are
+// bit-identical to the retained scalar reference (simulateScalar,
+// exercised by the equivalence tests).
+func simulate(c *netlist.Circuit, o Options) ([]*netlist.Node, []int, []int, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	bound := c.IDBound()
+
+	cur := make([]uint64, bound)   // packed values, one word per net
+	carry := make([]uint64, bound) // previous vector's value (bit 0)
+	toggles := make([]int, bound)  // per-net toggle counts
+	highs := make([]int, bound)    // per-net high counts
+	inState := make([]bool, len(c.Inputs))
+	args := make([]uint64, 0, 8) // fan-in gather scratch, reused per gate
+
+	evalWords := func() {
+		for _, n := range order {
+			switch {
+			case n.Type == gate.Input:
+				// cur[n.ID] was packed by the caller.
+			case n.Type == gate.Output:
+				cur[n.ID] = cur[n.Fanin[0].ID]
+			default:
+				args = args[:0]
+				for _, f := range n.Fanin {
+					args = append(args, cur[f.ID])
+				}
+				cur[n.ID] = gate.EvalWord(n.Type, args)
+			}
+		}
+	}
+
+	// Initial assignment (the state "before vector 0"): broadcast each
+	// input's seed bit across the word, evaluate once, and keep only the
+	// carry bits — no counting happens for this pseudo-vector.
+	for i, n := range c.Inputs {
+		inState[i] = rng.Intn(2) == 1
+		if inState[i] {
+			cur[n.ID] = ^uint64(0)
+		}
+	}
+	evalWords()
+	for _, n := range order {
+		carry[n.ID] = cur[n.ID] & 1
+	}
+
+	for base := 0; base < o.Vectors; base += 64 {
+		nbits := o.Vectors - base
+		if nbits > 64 {
+			nbits = 64
+		}
+		mask := ^uint64(0) >> (64 - uint(nbits))
+
+		// Pack the next nbits vectors. The loop is vector-major so the
+		// RNG stream matches the scalar reference draw for draw.
+		for _, n := range c.Inputs {
+			cur[n.ID] = 0
+		}
+		for j := 0; j < nbits; j++ {
+			bit := uint64(1) << uint(j)
+			for i, n := range c.Inputs {
+				if rng.Float64() < o.InputActivity {
+					inState[i] = !inState[i]
+				}
+				if inState[i] {
+					cur[n.ID] |= bit
+				}
+			}
+		}
+
+		evalWords()
+		for _, n := range order {
+			w := cur[n.ID]
+			prev := (w << 1) | carry[n.ID]
+			toggles[n.ID] += bits.OnesCount64((w ^ prev) & mask)
+			highs[n.ID] += bits.OnesCount64(w & mask)
+			carry[n.ID] = (w >> uint(nbits-1)) & 1
+		}
+	}
+	return order, toggles, highs, nil
+}
+
+// simulateScalar is the retained scalar reference of the vector
+// simulation: one map-keyed evaluation per vector, the historical
+// implementation the bit-parallel simulate replaced. It runs only in
+// the equivalence tests and the scalar rows of BenchmarkPowerProfile —
+// never on a production path — and defines the contract simulate must
+// match: identical RNG consumption, identical toggle and high counts.
+func simulateScalar(c *netlist.Circuit, o Options) ([]*netlist.Node, map[*netlist.Node]int, map[*netlist.Node]int, error) {
 	order, err := c.TopoOrder()
 	if err != nil {
 		return nil, nil, nil, err
@@ -147,6 +250,30 @@ type Profile struct {
 func SimulateProfile(c *netlist.Circuit, opts Options) (*Profile, error) {
 	o := opts.withDefaults()
 	order, toggles, highs, err := simulate(c, o)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Activities: make(map[string]float64, len(order)),
+		StateProbs: make(map[string]float64, len(order)),
+	}
+	for _, n := range order {
+		if n.Type == gate.Output {
+			continue // the PO pseudo-node mirrors its driver
+		}
+		p.Activities[n.Name] = float64(toggles[n.ID]) / float64(o.Vectors)
+		p.StateProbs[n.Name] = float64(highs[n.ID]) / float64(o.Vectors)
+	}
+	return p, nil
+}
+
+// scalarProfile is SimulateProfile over the retained scalar reference
+// simulation — the comparison arm of the equivalence tests and of
+// BenchmarkPowerProfile's scalar rows. Production callers always go
+// through SimulateProfile's bit-parallel path.
+func scalarProfile(c *netlist.Circuit, opts Options) (*Profile, error) {
+	o := opts.withDefaults()
+	order, toggles, highs, err := simulateScalar(c, o)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,186 @@
+package power
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/iscas"
+	"repro/internal/netlist"
+)
+
+// randomSimCircuit builds a valid random DAG of primitive and composite
+// cells (deterministic in seed) — the fuzz substrate of the
+// bit-parallel/scalar equivalence property.
+func randomSimCircuit(seed int64) *netlist.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := netlist.New(fmt.Sprintf("rand%d", seed))
+	nIn := 2 + rng.Intn(6)
+	var nets []string
+	for i := 0; i < nIn; i++ {
+		name := fmt.Sprintf("i%d", i)
+		if _, err := c.AddInput(name); err != nil {
+			panic(err)
+		}
+		nets = append(nets, name)
+	}
+	pool := append(gate.Primitives(), gate.Composites()...)
+	nGates := 3 + rng.Intn(30)
+	for i := 0; i < nGates; i++ {
+		t := pool[rng.Intn(len(pool))]
+		cell := gate.MustLookup(t)
+		fanin := make([]string, cell.FanIn)
+		for j := range fanin {
+			fanin[j] = nets[rng.Intn(len(nets))]
+		}
+		name := fmt.Sprintf("g%d", i)
+		if _, err := c.AddGate(name, t, fanin...); err != nil {
+			panic(err)
+		}
+		nets = append(nets, name)
+	}
+	for _, name := range nets {
+		n := c.Node(name)
+		if n != nil && len(n.Fanout) == 0 && n.Type != gate.Input {
+			if _, err := c.AddOutput(name, 8); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if len(c.Outputs) == 0 {
+		if _, err := c.AddOutput(nets[len(nets)-1], 8); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+// checkSimEquivalence pins the contract of the bit-parallel fast path:
+// toggle and high counts — hence the whole Profile — must equal the
+// scalar reference's exactly, not just statistically.
+func checkSimEquivalence(t *testing.T, c *netlist.Circuit, opts Options) {
+	t.Helper()
+	o := opts.withDefaults()
+	order, fastTog, fastHigh, err := simulate(c, o)
+	if err != nil {
+		t.Fatalf("%s: bit-parallel simulate: %v", c.Name, err)
+	}
+	orderRef, refTog, refHigh, err := simulateScalar(c, o)
+	if err != nil {
+		t.Fatalf("%s: scalar simulate: %v", c.Name, err)
+	}
+	if len(order) != len(orderRef) {
+		t.Fatalf("%s: order length %d vs %d", c.Name, len(order), len(orderRef))
+	}
+	for i, n := range order {
+		if orderRef[i] != n {
+			t.Fatalf("%s: topological order diverged at %d", c.Name, i)
+		}
+		if fastTog[n.ID] != refTog[n] {
+			t.Errorf("%s seed=%d vectors=%d: net %s toggles %d (bit-parallel) vs %d (scalar)",
+				c.Name, o.Seed, o.Vectors, n.Name, fastTog[n.ID], refTog[n])
+		}
+		if fastHigh[n.ID] != refHigh[n] {
+			t.Errorf("%s seed=%d vectors=%d: net %s highs %d (bit-parallel) vs %d (scalar)",
+				c.Name, o.Seed, o.Vectors, n.Name, fastHigh[n.ID], refHigh[n])
+		}
+	}
+}
+
+// TestBitParallelMatchesScalarRandom fuzzes the equivalence over
+// randomized netlists × seeds × vector counts, including counts that
+// are not multiples of 64 (partial tail words) and counts below one
+// word.
+func TestBitParallelMatchesScalarRandom(t *testing.T) {
+	vectorCounts := []int{1, 3, 63, 64, 65, 127, 128, 200, 511, 512}
+	for circSeed := int64(0); circSeed < 12; circSeed++ {
+		c := randomSimCircuit(circSeed)
+		for _, simSeed := range []int64{1, 7, 42} {
+			for _, vectors := range vectorCounts {
+				checkSimEquivalence(t, c, Options{Vectors: vectors, Seed: simSeed, InputActivity: 0.4})
+			}
+		}
+	}
+}
+
+// TestBitParallelMatchesScalarSuite runs the equivalence on real suite
+// benchmarks at the default 512 vectors (and one ragged count), the
+// configuration every leakage-aware protocol run uses.
+func TestBitParallelMatchesScalarSuite(t *testing.T) {
+	names := []string{"fpd", "c432", "c880"}
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, name := range names {
+		c, err := iscas.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSimEquivalence(t, c, Options{})
+		checkSimEquivalence(t, c, Options{Vectors: 130, Seed: 9})
+	}
+}
+
+// TestSimulateProfileMatchesScalarProfile closes the loop one level up:
+// the maps handed to the estimators must be identical, value for value.
+func TestSimulateProfileMatchesScalarProfile(t *testing.T) {
+	c, err := iscas.Load("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{{}, {Vectors: 100, Seed: 5, InputActivity: 0.25}} {
+		fast, err := SimulateProfile(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := scalarProfile(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast.Activities) != len(ref.Activities) || len(fast.StateProbs) != len(ref.StateProbs) {
+			t.Fatalf("profile sizes diverged: %d/%d vs %d/%d",
+				len(fast.Activities), len(fast.StateProbs), len(ref.Activities), len(ref.StateProbs))
+		}
+		for name, a := range ref.Activities {
+			if fast.Activities[name] != a {
+				t.Errorf("activity[%s] = %v, scalar %v", name, fast.Activities[name], a)
+			}
+		}
+		for name, q := range ref.StateProbs {
+			if fast.StateProbs[name] != q {
+				t.Errorf("stateProb[%s] = %v, scalar %v", name, fast.StateProbs[name], q)
+			}
+		}
+	}
+}
+
+// BenchmarkPowerProfile is the recorded scalar-vs-bit-parallel
+// comparison (BENCH_power.json): SimulateProfile on the suite circuits
+// at the default 512 vectors, against the retained scalar reference.
+// The bitparallel/scalar ns/op ratio is the headline win of the
+// word-parallel simulator.
+func BenchmarkPowerProfile(b *testing.B) {
+	for _, name := range []string{"fpd", "c432", "c880", "c1355"} {
+		c, err := iscas.Load(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/bitparallel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SimulateProfile(c, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/scalar", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := scalarProfile(c, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

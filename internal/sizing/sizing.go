@@ -43,6 +43,69 @@ type Options struct {
 	// the (also convex) worst-launch-edge delay that experiments
 	// report. Disable to study the pure eq. (4) method.
 	NoPolish bool
+	// NoTrace suppresses the Result.Iterations bookkeeping of Tmin —
+	// the per-sweep trajectory only Fig. 1 consumes. Hot callers (the
+	// protocol's round loop, the batch engine) set it; the trace is
+	// pure observation, so Delay/Area/Sweeps are identical either way
+	// (pinned by TestNoTraceIdenticalResult).
+	NoTrace bool
+	// Workspace, when non-nil, supplies reusable scratch for the
+	// solvers: B-coefficient and snapshot buffers plus the Result
+	// values themselves. Results returned by Tmin, AtSensitivity,
+	// Distribute and SutherlandDistribute then point into the
+	// workspace and are only valid until the next sizing call with the
+	// same workspace — copy what must outlive the round. A workspace
+	// must not be shared across goroutines.
+	Workspace *Workspace
+}
+
+// Workspace is the reusable scratch of the sizing solvers: with one
+// threaded through Options, a steady-state Tmin/Distribute call
+// performs no heap allocation. The zero value is ready to use.
+type Workspace struct {
+	b     []float64 // BCoefficients buffer, reused every sweep
+	sizes []float64 // sizing snapshot buffer (Distribute)
+	tmin  Result    // result slot for Tmin
+	dist  Result    // result slot for AtSensitivity/Distribute/Sutherland
+}
+
+// bcoefs computes the B coefficients, through the workspace buffer
+// when one is configured.
+func bcoefs(m *delay.Model, pa *delay.Path, ws *Workspace) []float64 {
+	if ws == nil {
+		return m.BCoefficients(pa)
+	}
+	ws.b = m.BCoefficientsInto(ws.b, pa)
+	return ws.b
+}
+
+// reset clears a workspace result slot for reuse, keeping the
+// Iterations capacity for traced runs.
+func (r *Result) reset() *Result {
+	iters := r.Iterations[:0]
+	*r = Result{}
+	r.Iterations = iters
+	return r
+}
+
+// tminResult returns the Result a Tmin run writes into: the
+// workspace's dedicated slot, or a fresh allocation.
+func (o Options) tminResult() *Result {
+	if o.Workspace != nil {
+		return o.Workspace.tmin.reset()
+	}
+	return &Result{}
+}
+
+// distResult is tminResult for the constraint-distribution family
+// (AtSensitivity, Distribute, SutherlandDistribute). A separate slot
+// keeps a Tmin result alive across the distribution probes that
+// follow it inside Distribute.
+func (o Options) distResult() *Result {
+	if o.Workspace != nil {
+		return o.Workspace.dist.reset()
+	}
+	return &Result{}
 }
 
 func (o Options) withDefaults() Options {
@@ -101,23 +164,25 @@ func Tmin(m *delay.Model, pa *delay.Path, opts Options) (*Result, error) {
 		return nil, err
 	}
 	n := len(pa.Stages)
-	res := &Result{}
+	res := o.tminResult()
 
 	// Backward seeding pass (§3.1): assume the upstream drive is CREF,
 	// walk from the output where the load is known.
-	b := m.BCoefficients(pa)
+	b := bcoefs(m, pa, o.Workspace)
 	for i := n - 1; i >= 1; i-- {
 		li := pa.ExternalLoadAt(i)
 		x := math.Sqrt(b[i] / b[i-1] * m.Proc.CRef * li)
 		pa.Stages[i].CIn = m.Proc.ClampCap(x)
 	}
-	res.Iterations = append(res.Iterations, IterationPoint{
-		Sweep: 0, SumCInRef: pa.TotalCIn() / m.Proc.CRef, Delay: m.PathDelayWorst(pa),
-	})
+	if !o.NoTrace {
+		res.Iterations = append(res.Iterations, IterationPoint{
+			Sweep: 0, SumCInRef: pa.TotalCIn() / m.Proc.CRef, Delay: m.PathDelayWorst(pa),
+		})
+	}
 
 	// Gauss-Seidel sweeps of eq. (4) until the sizes stop moving.
 	for sweep := 1; sweep <= o.MaxSweeps; sweep++ {
-		b = m.BCoefficients(pa)
+		b = bcoefs(m, pa, o.Workspace)
 		maxRel := 0.0
 		for i := 1; i < n; i++ {
 			li := pa.ExternalLoadAt(i)
@@ -131,9 +196,11 @@ func Tmin(m *delay.Model, pa *delay.Path, opts Options) (*Result, error) {
 			pa.Stages[i].CIn = x
 		}
 		res.Sweeps = sweep
-		res.Iterations = append(res.Iterations, IterationPoint{
-			Sweep: sweep, SumCInRef: pa.TotalCIn() / m.Proc.CRef, Delay: m.PathDelayWorst(pa),
-		})
+		if !o.NoTrace {
+			res.Iterations = append(res.Iterations, IterationPoint{
+				Sweep: sweep, SumCInRef: pa.TotalCIn() / m.Proc.CRef, Delay: m.PathDelayWorst(pa),
+			})
+		}
 		if maxRel < o.Tol {
 			break
 		}
@@ -145,11 +212,13 @@ func Tmin(m *delay.Model, pa *delay.Path, opts Options) (*Result, error) {
 	// coordinate golden-section descent converges to its optimum.
 	if !o.NoPolish {
 		polishWorstEdge(m, pa)
-		res.Iterations = append(res.Iterations, IterationPoint{
-			Sweep:     res.Sweeps + 1,
-			SumCInRef: pa.TotalCIn() / m.Proc.CRef,
-			Delay:     m.PathDelayWorst(pa),
-		})
+		if !o.NoTrace {
+			res.Iterations = append(res.Iterations, IterationPoint{
+				Sweep:     res.Sweeps + 1,
+				SumCInRef: pa.TotalCIn() / m.Proc.CRef,
+				Delay:     m.PathDelayWorst(pa),
+			})
+		}
 	}
 	res.Delay = m.PathDelayWorst(pa)
 	res.MeanDelay = m.PathDelayMean(pa)
@@ -228,7 +297,7 @@ func solveSensitivity(m *delay.Model, pa *delay.Path, a float64, o Options) int 
 	n := len(pa.Stages)
 	sweeps := 0
 	for sweep := 1; sweep <= o.MaxSweeps; sweep++ {
-		b := m.BCoefficients(pa)
+		b := bcoefs(m, pa, o.Workspace)
 		maxRel := 0.0
 		for i := 1; i < n; i++ {
 			li := pa.ExternalLoadAt(i)
@@ -266,13 +335,13 @@ func AtSensitivity(m *delay.Model, pa *delay.Path, a float64, opts Options) (*Re
 		return nil, fmt.Errorf("sizing: sensitivity coefficient must be ≤ 0, got %g", a)
 	}
 	sweeps := solveSensitivity(m, pa, a, o)
-	return &Result{
-		Delay:     m.PathDelayWorst(pa),
-		MeanDelay: m.PathDelayMean(pa),
-		Area:      pa.Area(m.Proc),
-		Sweeps:    sweeps,
-		A:         a,
-	}, nil
+	res := o.distResult()
+	res.Delay = m.PathDelayWorst(pa)
+	res.MeanDelay = m.PathDelayMean(pa)
+	res.Area = pa.Area(m.Proc)
+	res.Sweeps = sweeps
+	res.A = a
+	return res, nil
 }
 
 // Distribute implements the paper's constraint-distribution step: size
@@ -320,15 +389,21 @@ func Distribute(m *delay.Model, pa *delay.Path, tc float64, opts Options) (*Resu
 
 	// If even the all-minimum configuration meets tc, take it: maximum
 	// area saving (the sensitivity family degenerates to the clamp).
-	snapshot := pa.Sizes()
+	var snapshot []float64
+	if ws := o.Workspace; ws != nil {
+		ws.sizes = pa.AppendSizes(ws.sizes[:0])
+		snapshot = ws.sizes
+	} else {
+		snapshot = pa.Sizes()
+	}
 	tmax := Tmax(m, pa)
 	if tmax <= tc {
-		return &Result{
-			Delay:     tmax,
-			MeanDelay: m.PathDelayMean(pa),
-			Area:      pa.Area(m.Proc),
-			A:         math.Inf(-1),
-		}, nil
+		res := o.distResult()
+		res.Delay = tmax
+		res.MeanDelay = m.PathDelayMean(pa)
+		res.Area = pa.Area(m.Proc)
+		res.A = math.Inf(-1)
+		return res, nil
 	}
 	if err := pa.SetSizes(snapshot); err != nil {
 		return nil, err
@@ -356,8 +431,11 @@ func Distribute(m *delay.Model, pa *delay.Path, tc float64, opts Options) (*Resu
 	}
 
 	// Bisection between aLo (delay ≥ tc) and aHi = 0 (delay = Tmin < tc).
+	// Only the accepted coefficient is tracked (not the Result pointer):
+	// probe results may live in a shared workspace slot, and the value
+	// is all the epilogue needs.
 	aHi := 0.0
-	var best *Result
+	bestA := aHi
 	for iter := 0; iter < o.SearchIter; iter++ {
 		mid := (aLo + aHi) / 2
 		r, err := AtSensitivity(m, pa, mid, opts)
@@ -368,20 +446,17 @@ func Distribute(m *delay.Model, pa *delay.Path, tc float64, opts Options) (*Resu
 			aLo = mid
 		} else {
 			aHi = mid
-			best = r
+			bestA = mid
 		}
 		if math.Abs(r.Delay-tc) <= o.DelayTol*tc {
-			best = r
+			bestA = mid
 			break
 		}
-	}
-	if best == nil {
-		best = &Result{A: aHi}
 	}
 	// Re-solve at the accepted coefficient so the path state matches
 	// the returned result (the last bisection probe may have been a
 	// rejected one).
-	r, err := AtSensitivity(m, pa, best.A, opts)
+	r, err := AtSensitivity(m, pa, bestA, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -449,7 +524,6 @@ func SutherlandDistribute(m *delay.Model, pa *delay.Path, tc float64, opts Optio
 	if err := pa.Validate(); err != nil {
 		return nil, err
 	}
-	_ = opts // the closed-form backward solve needs no iteration control
 	n := len(pa.Stages)
 	budget := tc / float64(n)
 
@@ -457,7 +531,7 @@ func SutherlandDistribute(m *delay.Model, pa *delay.Path, tc float64, opts Optio
 	// C_L(i) = L_i + pf_i·x_i:  x_i = B_i·L_i / (budget − B_i·pf_i).
 	// A couple of outer sweeps refresh the frozen Miller factors.
 	for sweep := 0; sweep < 8; sweep++ {
-		b := m.BCoefficients(pa)
+		b := bcoefs(m, pa, opts.Workspace)
 		for i := n - 1; i >= 1; i-- {
 			li := pa.ExternalLoadAt(i)
 			den := budget - b[i]*pa.Stages[i].Cell.ParasiticFactor
@@ -470,9 +544,9 @@ func SutherlandDistribute(m *delay.Model, pa *delay.Path, tc float64, opts Optio
 			pa.Stages[i].CIn = m.Proc.ClampCap(x)
 		}
 	}
-	return &Result{
-		Delay:     m.PathDelayWorst(pa),
-		MeanDelay: m.PathDelayMean(pa),
-		Area:      pa.Area(m.Proc),
-	}, nil
+	res := opts.distResult()
+	res.Delay = m.PathDelayWorst(pa)
+	res.MeanDelay = m.PathDelayMean(pa)
+	res.Area = pa.Area(m.Proc)
+	return res, nil
 }

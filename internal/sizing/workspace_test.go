@@ -1,0 +1,129 @@
+package sizing
+
+import (
+	"testing"
+)
+
+// TestNoTraceIdenticalResult pins the trace-suppression contract: the
+// Iterations trajectory is pure observation, so Tmin with NoTrace must
+// return bit-identical Delay/MeanDelay/Area/Sweeps — and leave the
+// path in the bit-identical sizing state — as the traced run.
+func TestNoTraceIdenticalResult(t *testing.T) {
+	m := model()
+	traced := mkPath(m.Proc, mixed, 120)
+	quiet := mkPath(m.Proc, mixed, 120)
+
+	rt, err := Tmin(m, traced, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := Tmin(m, quiet, Options{NoTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Iterations) == 0 {
+		t.Fatal("traced run recorded no iterations")
+	}
+	if len(rq.Iterations) != 0 {
+		t.Fatalf("NoTrace run recorded %d iterations", len(rq.Iterations))
+	}
+	if rt.Delay != rq.Delay || rt.MeanDelay != rq.MeanDelay || rt.Area != rq.Area || rt.Sweeps != rq.Sweeps {
+		t.Fatalf("NoTrace diverged: %+v vs %+v", rq, rt)
+	}
+	for i := range traced.Stages {
+		if traced.Stages[i].CIn != quiet.Stages[i].CIn {
+			t.Fatalf("stage %d sized differently: %g vs %g", i, quiet.Stages[i].CIn, traced.Stages[i].CIn)
+		}
+	}
+
+	// Same contract for the constraint-distribution step.
+	tc := 1.4 * rt.Delay
+	dTraced := mkPath(m.Proc, mixed, 120)
+	dQuiet := mkPath(m.Proc, mixed, 120)
+	dt, err := Distribute(m, dTraced, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq, err := Distribute(m, dQuiet, tc, Options{NoTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Delay != dq.Delay || dt.Area != dq.Area || dt.A != dq.A {
+		t.Fatalf("NoTrace Distribute diverged: %+v vs %+v", dq, dt)
+	}
+}
+
+// TestWorkspaceIdenticalResult checks that a threaded workspace is
+// invisible in the numbers: Tmin and Distribute through a (repeatedly
+// reused) workspace produce bit-identical results and path states.
+func TestWorkspaceIdenticalResult(t *testing.T) {
+	m := model()
+	ws := &Workspace{}
+	for round := 0; round < 3; round++ {
+		plain := mkPath(m.Proc, mixed, 120)
+		wsPath := mkPath(m.Proc, mixed, 120)
+
+		rp, err := Tmin(m, plain, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, err := Tmin(m, wsPath, Options{Workspace: ws})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Delay != rw.Delay || rp.Area != rw.Area || rp.Sweeps != rw.Sweeps {
+			t.Fatalf("round %d: workspace Tmin diverged: %+v vs %+v", round, rw, rp)
+		}
+
+		tc := 1.3 * rp.Delay
+		dPlain := mkPath(m.Proc, mixed, 120)
+		dWs := mkPath(m.Proc, mixed, 120)
+		dp, err := Distribute(m, dPlain, tc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw, err := Distribute(m, dWs, tc, Options{Workspace: ws})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.Delay != dw.Delay || dp.Area != dw.Area || dp.A != dw.A {
+			t.Fatalf("round %d: workspace Distribute diverged: %+v vs %+v", round, dw, dp)
+		}
+		for i := range dPlain.Stages {
+			if dPlain.Stages[i].CIn != dWs.Stages[i].CIn {
+				t.Fatalf("round %d stage %d sized differently: %g vs %g",
+					round, i, dWs.Stages[i].CIn, dPlain.Stages[i].CIn)
+			}
+		}
+	}
+}
+
+// TestWorkspaceSizingAllocationFree pins the perf contract of the
+// workspace: once warmed, Tmin and Distribute with NoTrace+Workspace
+// perform no heap allocation.
+func TestWorkspaceSizingAllocationFree(t *testing.T) {
+	m := model()
+	ws := &Workspace{}
+	opts := Options{NoTrace: true, Workspace: ws}
+	pa := mkPath(m.Proc, mixed, 120)
+	r, err := Tmin(m, pa, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := 1.3 * r.Delay
+
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Tmin(m, pa, opts); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Tmin with workspace allocated %.1f times per run", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Distribute(m, pa, tc, opts); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Distribute with workspace allocated %.1f times per run", allocs)
+	}
+}

@@ -257,13 +257,27 @@ func (r *Result) AppendCriticalNodes(dst []*netlist.Node) []*netlist.Node {
 // fan-out minus the single pin continuing the path; the last stage
 // keeps its entire fan-out (terminal + branches) as fixed load.
 func PathFromNodes(name string, nodes []*netlist.Node, m *delay.Model, cfg Config) (*delay.Path, error) {
-	if len(nodes) == 0 {
-		return nil, fmt.Errorf("sta: empty node chain for path %q", name)
+	pa := &delay.Path{}
+	if err := PathFromNodesInto(pa, name, nodes, m, cfg); err != nil {
+		return nil, err
 	}
-	pa := &delay.Path{Name: name, TauIn: cfg.inputTau(m.Proc)}
+	return pa, nil
+}
+
+// PathFromNodesInto is PathFromNodes into a caller-owned path: pa's
+// stage slice is truncated and refilled, so the optimizer's round loop
+// can re-extract the worst path every round without allocating. On
+// error pa is left partially filled and must not be used.
+func PathFromNodesInto(pa *delay.Path, name string, nodes []*netlist.Node, m *delay.Model, cfg Config) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("sta: empty node chain for path %q", name)
+	}
+	pa.Name = name
+	pa.TauIn = cfg.inputTau(m.Proc)
+	pa.Stages = pa.Stages[:0]
 	for i, n := range nodes {
 		if !n.IsLogic() {
-			return nil, fmt.Errorf("sta: path %q node %s is not a logic cell", name, n.Name)
+			return fmt.Errorf("sta: path %q node %s is not a logic cell", name, n.Name)
 		}
 		coff := n.FanoutCap()
 		if i+1 < len(nodes) {
@@ -276,7 +290,7 @@ func PathFromNodes(name string, nodes []*netlist.Node, m *delay.Model, cfg Confi
 				}
 			}
 			if !linked {
-				return nil, fmt.Errorf("sta: path %q: %s does not drive %s", name, n.Name, next.Name)
+				return fmt.Errorf("sta: path %q: %s does not drive %s", name, n.Name, next.Name)
 			}
 			coff -= next.CIn // one pin continues the path
 			if coff < 0 {
@@ -285,7 +299,7 @@ func PathFromNodes(name string, nodes []*netlist.Node, m *delay.Model, cfg Confi
 		}
 		pa.Stages = append(pa.Stages, delay.Stage{Cell: n.Cell(), CIn: n.CIn, COff: coff, Node: n})
 	}
-	return pa, nil
+	return nil
 }
 
 // CriticalPath runs STA and extracts the single worst path as a
