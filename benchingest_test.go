@@ -1,0 +1,116 @@
+package pops_test
+
+// Bring-your-own-netlist acceptance: an inline .bench circuit — the
+// genuine embedded c17 and a genuine ripple-carry adder — optimizes
+// end-to-end through the facade (pops.OptimizeBench) and the HTTP
+// service (POST /v1/optimize {"bench": …}), with results
+// byte-identical between the entry points. The CLI leg of the same
+// contract lives in cmd/pops (TestOptimizeBenchFileMatchesFacade).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/engine"
+	"repro/internal/iscas"
+)
+
+// rcaSource serializes a genuine 4-bit ripple-carry adder to .bench.
+func rcaSource(t *testing.T) string {
+	t.Helper()
+	c, err := iscas.RippleCarryAdder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := pops.WriteBench(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestBenchIngestionEntryPointsByteIdentical(t *testing.T) {
+	sources := []struct {
+		name  string
+		src   string
+		ratio float64
+	}{
+		{"c17", iscas.C17Bench(), 1.3},
+		{"rca4", rcaSource(t), 1.4},
+	}
+	for _, tc := range sources {
+		name, src, ratio := tc.name, tc.src, tc.ratio
+		t.Run(name, func(t *testing.T) {
+			// Facade entry point, on its own engine.
+			eng, err := pops.NewEngine(pops.EngineConfig{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := pops.OptimizeBench(context.Background(), eng, src,
+				pops.OptimizeRequest{Ratio: ratio})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Circuit != name || !res.Outcome.Feasible {
+				t.Fatalf("facade result %q feasible=%v", res.Circuit, res.Outcome.Feasible)
+			}
+			facadeWire, err := json.Marshal(engine.WireOptimize(res))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// HTTP entry point, on a second, independent engine.
+			eng2, err := pops.NewEngine(pops.EngineConfig{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := pops.NewEngineServer(context.Background(), eng2)
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+			defer srv.Store().Close()
+			body, err := json.Marshal(map[string]any{"bench": src, "ratio": ratio, "wait": true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, raw)
+			}
+			var job struct {
+				Status string          `json:"status"`
+				Result json.RawMessage `json:"result"`
+			}
+			if err := json.Unmarshal(raw, &job); err != nil {
+				t.Fatal(err)
+			}
+			if job.Status != "done" {
+				t.Fatalf("job status %s: %s", job.Status, raw)
+			}
+
+			// Byte-identity: re-compact both wire forms and compare.
+			var httpWire bytes.Buffer
+			if err := json.Compact(&httpWire, job.Result); err != nil {
+				t.Fatal(err)
+			}
+			if httpWire.String() != string(facadeWire) {
+				t.Fatalf("HTTP and facade results differ\n--- http\n%s\n--- facade\n%s",
+					httpWire.String(), facadeWire)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@
 //	pops bounds   (-bench file.bench | -circuit c432)
 //	pops optimize (-bench file.bench | -circuit c432) -tc 2500
 //	pops optimize -circuit c432 -ratio 1.3          # Tc = 1.3 × Tmin
+//	pops sweep    (-bench file.bench | -circuit c880) -points 9
 //	pops leakage  -circuit c432 -ratio 1.4          # optimize + multi-Vt assignment
 //	pops slack    -circuit c880 -ratio 1.2          # required times / slacks
 //	pops power    (-bench file.bench | -circuit c432)
@@ -17,7 +18,10 @@
 //
 // Circuits are either ISCAS'85 .bench files (elaborated onto the
 // primitive library on load) or named members of the paper's benchmark
-// suite.
+// suite. The optimize and sweep subcommands feed a -bench file through
+// the batch engine's hardened ingestion pass — the same path as
+// POST /v1/optimize {"bench": …} and pops.OptimizeBench, with results
+// byte-identical across all three entry points.
 package main
 
 import (
@@ -43,29 +47,60 @@ func main() {
 	tc := fs.Float64("tc", 0, "delay constraint in ps")
 	ratio := fs.Float64("ratio", 0, "delay constraint as a multiple of Tmin")
 	k := fs.Int("k", 3, "number of worst paths to report (analyze)")
+	points := fs.Int("points", 11, "Tc grid size (sweep)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
-	if err := run(os.Stdout, cmd, *benchFile, *circuit, *tc, *ratio, *k); err != nil {
+	if err := run(os.Stdout, cmd, *benchFile, *circuit, *tc, *ratio, *k, *points); err != nil {
 		fmt.Fprintln(os.Stderr, "pops:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pops <analyze|bounds|optimize|leakage|report|slack|power|flimit|calibrate|list> [flags]
+	fmt.Fprintln(os.Stderr, `usage: pops <analyze|bounds|optimize|sweep|leakage|report|slack|power|flimit|calibrate|list> [flags]
 run "pops <command> -h" for command flags`)
 }
 
+// load resolves the -bench/-circuit pair to an elaborated circuit for
+// the in-process subcommands, through the same source validation and
+// ingestion pass as the engine-backed ones (engineSource/ParseBench).
 func load(benchFile, circuit string) (*pops.Circuit, error) {
+	bench, name, err := engineSource(benchFile, circuit)
+	if err != nil {
+		return nil, err
+	}
+	if bench != "" {
+		pb, err := pops.ParseBench(bench)
+		if err != nil {
+			return nil, err
+		}
+		return pb.Circuit, nil
+	}
+	return pops.Benchmark(name)
+}
+
+// engineSource resolves the -bench/-circuit pair into the inline-bench
+// or named-circuit fields of an engine request: a -bench file rides as
+// raw source through the engine's ingestion pass (the same path as the
+// HTTP service), a -circuit name as a suite reference. Exactly one
+// must be given — the engine enforces the same rule, so the CLI never
+// silently drops a flag the HTTP layer would reject.
+func engineSource(benchFile, circuit string) (bench, name string, err error) {
 	switch {
+	case benchFile != "" && circuit != "":
+		return "", "", fmt.Errorf("-bench and -circuit are mutually exclusive")
 	case benchFile != "":
-		return pops.LoadBenchFile(benchFile)
+		buf, err := os.ReadFile(benchFile)
+		if err != nil {
+			return "", "", err
+		}
+		return string(buf), "", nil
 	case circuit != "":
-		return pops.Benchmark(circuit)
+		return "", circuit, nil
 	default:
-		return nil, fmt.Errorf("need -bench or -circuit")
+		return "", "", fmt.Errorf("need -bench or -circuit")
 	}
 }
 
@@ -90,11 +125,64 @@ func printPower(w io.Writer, c *pops.Circuit, proc *pops.Process) error {
 	return nil
 }
 
-func run(w io.Writer, cmd, benchFile, circuit string, tc, ratio float64, k int) error {
+func run(w io.Writer, cmd, benchFile, circuit string, tc, ratio float64, k, points int) error {
 	proc := pops.DefaultProcess()
 	model := pops.NewModel(proc)
 
 	switch cmd {
+	case "optimize":
+		bench, name, err := engineSource(benchFile, circuit)
+		if err != nil {
+			return err
+		}
+		if tc == 0 && ratio == 0 {
+			return fmt.Errorf("optimize needs -tc or -ratio")
+		}
+		eng, err := pops.NewEngine(pops.EngineConfig{})
+		if err != nil {
+			return err
+		}
+		res, err := eng.Optimize(context.Background(), pops.OptimizeRequest{
+			Circuit: name, Bench: bench, Tc: tc, Ratio: ratio,
+		})
+		if err != nil {
+			return err
+		}
+		out := res.Outcome
+		fmt.Fprintf(w, "constraint: %.1f ps\n", res.Tc)
+		fmt.Fprintf(w, "result: delay %.1f ps, circuit area %.1f µm, feasible=%v\n",
+			out.Delay, out.Area, out.Feasible)
+		fmt.Fprintf(w, "rounds=%d buffers=%d nor-rewrites=%d\n",
+			out.Rounds, out.Buffers, out.NorRewrites)
+		for i, po := range out.PathOutcomes {
+			fmt.Fprintf(w, "  round %d: domain=%s method=%s delay=%.1f area=%.1f\n",
+				i+1, po.Domain, po.Method, po.Delay, po.Area)
+		}
+		return nil
+
+	case "sweep":
+		bench, name, err := engineSource(benchFile, circuit)
+		if err != nil {
+			return err
+		}
+		eng, err := pops.NewEngine(pops.EngineConfig{})
+		if err != nil {
+			return err
+		}
+		sw, err := eng.Sweep(context.Background(), pops.SweepRequest{
+			Circuit: name, Bench: bench, Points: points,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "circuit %s: Tmin %.1f ps, Tmax %.1f ps\n", sw.Circuit, sw.Tmin, sw.Tmax)
+		t := report.NewTable("area/delay trade-off", "Ratio", "Tc (ps)", "Delay (ps)", "Area (µm)", "Feasible", "Rounds", "Buffers")
+		for _, p := range sw.Points {
+			t.AddRow(fmt.Sprintf("%.2f", p.Ratio), p.Tc, p.Delay, p.Area, p.Feasible, p.Rounds, p.Buffers)
+		}
+		fmt.Fprint(w, t.String())
+		return nil
+
 	case "list":
 		t := report.NewTable("benchmark suite", "Name", "Inputs", "Outputs", "Gates", "Path gates")
 		for _, s := range pops.Benchmarks() {
@@ -164,40 +252,6 @@ func run(w io.Writer, cmd, benchFile, circuit string, tc, ratio float64, k int) 
 		fmt.Fprintf(w, "Tmin = %.1f ps   Tmax = %.1f ps\n", b.Tmin, b.Tmax)
 		fmt.Fprintf(w, "domains: hard < %.1f ps ≤ medium ≤ %.1f ps < weak\n",
 			1.2*b.Tmin, 2.5*b.Tmin)
-		return nil
-
-	case "optimize":
-		pa, _, err := pops.CriticalPath(c, model)
-		if err != nil {
-			return err
-		}
-		if tc == 0 {
-			if ratio == 0 {
-				return fmt.Errorf("optimize needs -tc or -ratio")
-			}
-			b, err := pops.Bounds(model, pa.Clone())
-			if err != nil {
-				return err
-			}
-			tc = ratio * b.Tmin
-		}
-		proto, err := pops.NewProtocol(pops.ProtocolConfig{Model: model})
-		if err != nil {
-			return err
-		}
-		out, err := proto.OptimizeCircuit(c, tc)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "constraint: %.1f ps\n", tc)
-		fmt.Fprintf(w, "result: delay %.1f ps, circuit area %.1f µm, feasible=%v\n",
-			out.Delay, out.Area, out.Feasible)
-		fmt.Fprintf(w, "rounds=%d buffers=%d nor-rewrites=%d\n",
-			out.Rounds, out.Buffers, out.NorRewrites)
-		for i, po := range out.PathOutcomes {
-			fmt.Fprintf(w, "  round %d: domain=%s method=%s delay=%.1f area=%.1f\n",
-				i+1, po.Domain, po.Method, po.Delay, po.Area)
-		}
 		return nil
 
 	case "leakage":

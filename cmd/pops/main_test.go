@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro"
+	"repro/internal/iscas"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -18,7 +23,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func golden(t *testing.T, name, cmd, circuit string, tc, ratio float64, k int) {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := run(&buf, cmd, "", circuit, tc, ratio, k); err != nil {
+	if err := run(&buf, cmd, "", circuit, tc, ratio, k, 11); err != nil {
 		t.Fatalf("%s: %v", cmd, err)
 	}
 	path := filepath.Join("testdata", name+".golden")
@@ -69,20 +74,92 @@ func TestBoundsGolden(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "optimize", "", "fpd", 0, 0, 3); err == nil ||
+	if err := run(&buf, "optimize", "", "fpd", 0, 0, 3, 11); err == nil ||
 		!strings.Contains(err.Error(), "-tc or -ratio") {
 		t.Fatalf("optimize without constraint: %v", err)
 	}
-	if err := run(&buf, "leakage", "", "fpd", 0, 0, 3); err == nil ||
+	if err := run(&buf, "leakage", "", "fpd", 0, 0, 3, 11); err == nil ||
 		!strings.Contains(err.Error(), "-tc or -ratio") {
 		t.Fatalf("leakage without constraint: %v", err)
 	}
-	if err := run(&buf, "analyze", "", "", 0, 0, 3); err == nil ||
+	if err := run(&buf, "analyze", "", "", 0, 0, 3, 11); err == nil ||
 		!strings.Contains(err.Error(), "-bench or -circuit") {
 		t.Fatalf("analyze without circuit: %v", err)
 	}
-	if err := run(&buf, "frobnicate", "", "fpd", 0, 0, 3); err == nil ||
+	if err := run(&buf, "frobnicate", "", "fpd", 0, 0, 3, 11); err == nil ||
 		!strings.Contains(err.Error(), "unknown command") {
 		t.Fatalf("unknown command: %v", err)
+	}
+	// Both sources is rejected, never silently resolved — the same rule
+	// the engine and HTTP layer enforce.
+	if err := run(&buf, "optimize", "x.bench", "fpd", 0, 1.3, 3, 11); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("optimize with both sources: %v", err)
+	}
+	if err := run(&buf, "analyze", "x.bench", "fpd", 0, 0, 3, 11); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("analyze with both sources: %v", err)
+	}
+}
+
+func TestSweepGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "sweep", "", "fpd", 0, 0, 3, 5); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	path := filepath.Join("testdata", "sweep_fpd.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./cmd/pops -update): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("sweep output drifted\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+// TestOptimizeBenchFileMatchesFacade pins the CLI entry point of the
+// bring-your-own-netlist path against the facade: `pops optimize
+// -bench file` must print exactly the numbers pops.OptimizeBench
+// computes for the same source, proving both run one engine path.
+func TestOptimizeBenchFileMatchesFacade(t *testing.T) {
+	src := iscas.C17Bench()
+	dir := t.TempDir()
+	file := filepath.Join(dir, "c17.bench")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := run(&got, "optimize", file, "", 0, 1.3, 3, 11); err != nil {
+		t.Fatalf("optimize -bench: %v", err)
+	}
+
+	eng, err := pops.NewEngine(pops.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pops.OptimizeBench(context.Background(), eng, src,
+		pops.OptimizeRequest{Ratio: 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	out := res.Outcome
+	fmt.Fprintf(&want, "constraint: %.1f ps\n", res.Tc)
+	fmt.Fprintf(&want, "result: delay %.1f ps, circuit area %.1f µm, feasible=%v\n",
+		out.Delay, out.Area, out.Feasible)
+	fmt.Fprintf(&want, "rounds=%d buffers=%d nor-rewrites=%d\n",
+		out.Rounds, out.Buffers, out.NorRewrites)
+	for i, po := range out.PathOutcomes {
+		fmt.Fprintf(&want, "  round %d: domain=%s method=%s delay=%.1f area=%.1f\n",
+			i+1, po.Domain, po.Method, po.Delay, po.Area)
+	}
+	if got.String() != want.String() {
+		t.Errorf("CLI output diverged from the facade\n--- cli\n%s--- facade\n%s",
+			got.String(), want.String())
 	}
 }

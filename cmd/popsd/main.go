@@ -17,8 +17,11 @@
 // POSTs enqueue async jobs and answer 202 with a job ID for polling;
 // add "wait": true to block for the result. Every POST also accepts
 // "leakage": true to run the multi-Vt leakage pass after sizing and
-// report the dynamic/leakage/total power split. See docs/API.md for
-// the full request/response reference.
+// report the dynamic/leakage/total power split, and optimize/sweep
+// take "bench" (suite takes "benches") — a raw ISCAS .bench netlist
+// source — in place of a named benchmark, validated behind the
+// engine's hardened ingestion pass. See docs/API.md for the full
+// request/response reference.
 //
 // -pprof-addr opens an additional net/http/pprof debug listener (e.g.
 // "localhost:6060") so a running daemon can be profiled in place; it

@@ -126,6 +126,36 @@ func TestDocsFacadeExported(t *testing.T) {
 	}
 }
 
+// TestDocsBenchIngestionCovered pins the bring-your-own-netlist
+// surface into the documentation: the HTTP reference must document the
+// inline-netlist request fields and the full client-error vocabulary,
+// and the README must name the facade entry points. A rename or
+// removal that forgets the docs fails here, not in production.
+func TestDocsBenchIngestionCovered(t *testing.T) {
+	requirements := map[string][]string{
+		filepath.Join("docs", "API.md"): {
+			"`bench`", "`benches`", "`400`", "`413`", "`422`", "`503`",
+			"fingerprint",
+		},
+		"README.md": {
+			"OptimizeBench", "ParseBench", "BenchError",
+			"-bench", "custombench",
+		},
+	}
+	for file, wants := range requirements {
+		buf, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(buf)
+		for _, want := range wants {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s no longer documents %q", file, want)
+			}
+		}
+	}
+}
+
 // mdLink matches inline markdown links; the first group is the target.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 

@@ -38,6 +38,30 @@ func TestReadJSONBodyLimit(t *testing.T) {
 			status:  http.StatusOK,
 			wantErr: "",
 		},
+		{
+			name:    "trailing JSON value answers 400",
+			body:    `{"circuit":"fpd","ratio":1.5,"wait":true}{"x":1}`,
+			status:  http.StatusBadRequest,
+			wantErr: "after the JSON value",
+		},
+		{
+			name:    "trailing garbage answers 400",
+			body:    `{"circuit":"fpd","ratio":1.5,"wait":true} junk`,
+			status:  http.StatusBadRequest,
+			wantErr: "after the JSON value",
+		},
+		{
+			name:    "trailing whitespace is fine",
+			body:    `{"circuit":"fpd","ratio":1.5,"wait":true}` + "\n\t ",
+			status:  http.StatusOK,
+			wantErr: "",
+		},
+		{
+			name:    "valid value with an over-limit tail answers 413, not trailing-data 400",
+			body:    `{"circuit":"fpd","ratio":1.5,"wait":true}` + strings.Repeat(" ", maxBodyBytes),
+			status:  http.StatusRequestEntityTooLarge,
+			wantErr: "exceeds",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -12,9 +12,7 @@ package engine
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sync"
 
@@ -22,6 +20,7 @@ import (
 	"repro/internal/delay"
 	"repro/internal/gate"
 	"repro/internal/leakage"
+	"repro/internal/netlist"
 	"repro/internal/sizing"
 )
 
@@ -31,12 +30,25 @@ import (
 type Cache struct {
 	mu     sync.Mutex
 	limits map[string]*limitsEntry
-	bounds map[string]*boundsEntry
+
+	// Path-bounds memo, bounded FIFO: its keys derive from
+	// client-supplied netlists, so like the result memo it must not
+	// grow without bound in a long-running daemon.
+	bounds      map[string]*boundsEntry
+	boundsOrder []string
 
 	// Result memoization: completed optimization tasks keyed by
-	// (process, circuit, Tc, ratio, leakage policy), bounded FIFO.
+	// (process, circuit fingerprint, Tc, ratio, leakage policy),
+	// bounded FIFO.
 	results     map[string]*resultEntry
 	resultOrder []string
+
+	// aliases maps a suite circuit name to the canonical fingerprint
+	// of its deterministically generated netlist. Keying results by
+	// fingerprint instead of name keeps the memo sound when inline
+	// netlists share a name; the alias preserves the cheap name-based
+	// lookup (and every existing cache hit) for suite requests.
+	aliases map[string]string
 }
 
 // limitsEntry latches one library characterization (Flimit table rows
@@ -63,10 +75,15 @@ type resultEntry struct {
 	err  error
 }
 
-// MaxResultEntries bounds the result memo; beyond it the oldest entry
-// is evicted (FIFO — with deterministic results, re-deriving an
-// evicted entry is harmless).
-const MaxResultEntries = 4096
+// MaxResultEntries and MaxBoundsEntries bound the result and bounds
+// memos; beyond them the oldest entry is evicted (FIFO — with
+// deterministic results, re-deriving an evicted entry is harmless).
+// Both maps are fed by untrusted request streams, so neither may grow
+// without bound.
+const (
+	MaxResultEntries = 4096
+	MaxBoundsEntries = 4096
+)
 
 // NewCache returns an empty characterization cache.
 func NewCache() *Cache {
@@ -74,7 +91,30 @@ func NewCache() *Cache {
 		limits:  make(map[string]*limitsEntry),
 		bounds:  make(map[string]*boundsEntry),
 		results: make(map[string]*resultEntry),
+		aliases: make(map[string]string),
 	}
+}
+
+// Alias returns the memoized canonical fingerprint of a named suite
+// circuit, computing it through fp on the first request. Suite
+// benchmarks generate deterministically, so the mapping is stable; a
+// racing duplicate computation produces the identical value and is
+// harmless.
+func (ca *Cache) Alias(name string, fp func() (string, error)) (string, error) {
+	ca.mu.Lock()
+	if k, ok := ca.aliases[name]; ok {
+		ca.mu.Unlock()
+		return k, nil
+	}
+	ca.mu.Unlock()
+	k, err := fp()
+	if err != nil {
+		return "", err
+	}
+	ca.mu.Lock()
+	ca.aliases[name] = k
+	ca.mu.Unlock()
+	return k, nil
 }
 
 // Characterization returns the memoized library characterization of
@@ -113,6 +153,14 @@ func (ca *Cache) Bounds(m *delay.Model, pa *delay.Path, opts sizing.Options) (tm
 	if !ok {
 		e = &boundsEntry{}
 		ca.bounds[key] = e
+		ca.boundsOrder = append(ca.boundsOrder, key)
+		if len(ca.boundsOrder) > MaxBoundsEntries {
+			oldest := ca.boundsOrder[0]
+			ca.boundsOrder = ca.boundsOrder[1:]
+			// Holders of the evicted entry's pointer still complete
+			// their latch safely; only the map slot is recycled.
+			delete(ca.bounds, oldest)
+		}
 	}
 	ca.mu.Unlock()
 	e.once.Do(func() {
@@ -186,14 +234,18 @@ func (ca *Cache) Result(ctx context.Context, key string, compute func() (*Optimi
 	return e.res, e.err
 }
 
-// resultKey spells out one (process, request, leakage policy) task as
-// a delimited string — the components themselves, not a hash, so
-// distinct tasks can never collide into each other's memo entry.
-// Floats are keyed by their exact bit patterns. The leakage policy is
-// part of the key only when the request's flag is on, so retuning the
-// engine-wide policy never aliases dynamic-only entries.
-func resultKey(proc string, req OptimizeRequest, pol leakage.Options) string {
-	key := fmt.Sprintf("%s|%s|%x|%x", proc, req.Circuit,
+// resultKey spells out one (process, circuit, request, leakage policy)
+// task as a delimited string — the components themselves, not a hash,
+// so distinct tasks can never collide into each other's memo entry.
+// The circuit is identified by its canonical content fingerprint
+// (netlist.Fingerprint), never by a client-chosen name: two different
+// netlists sharing a name occupy distinct entries, and identical
+// netlists under different names share one. Floats are keyed by their
+// exact bit patterns. The leakage policy is part of the key only when
+// the request's flag is on, so retuning the engine-wide policy never
+// aliases dynamic-only entries.
+func resultKey(proc, circuit string, req OptimizeRequest, pol leakage.Options) string {
+	key := fmt.Sprintf("%s|%s|%x|%x", proc, circuit,
 		math.Float64bits(req.Tc), math.Float64bits(req.Ratio))
 	if !req.Leakage {
 		return key + "|dyn"
@@ -211,28 +263,21 @@ func resultKey(proc string, req OptimizeRequest, pol leakage.Options) string {
 // PathSignature returns a stable fingerprint of a path's optimization
 // sub-problem: the stage cell sequence with sizes and off-path loads,
 // plus the entry transition time. Two paths with equal signatures have
-// identical delay bounds; the path name is deliberately excluded.
+// identical delay bounds; the path name is deliberately excluded. The
+// hash is SHA-256, not a 64-bit mixer: the bounds memo is shared
+// across clients of a long-running daemon that now ingests untrusted
+// netlists, so a crafted collision must not be able to alias one
+// path's cached Tmin/Tmax onto another's (the same reasoning that
+// keys the result memo on netlist.Fingerprint).
 func PathSignature(pa *delay.Path) string {
-	h := fnv.New64a()
-	var buf [8]byte
-	word := func(u uint64) {
-		binary.LittleEndian.PutUint64(buf[:], u)
-		h.Write(buf[:])
-	}
-	word(math.Float64bits(pa.TauIn))
-	word(uint64(len(pa.Stages)))
+	h := netlist.NewCanonicalHasher()
+	h.Float(pa.TauIn)
+	h.Word(uint64(len(pa.Stages)))
 	for i := range pa.Stages {
 		st := &pa.Stages[i]
-		word(uint64(st.Cell.Type))
-		word(math.Float64bits(st.CIn))
-		word(math.Float64bits(st.COff))
+		h.Word(uint64(st.Cell.Type))
+		h.Float(st.CIn)
+		h.Float(st.COff)
 	}
-	sum := h.Sum64()
-	const hex = "0123456789abcdef"
-	var out [16]byte
-	for i := 15; i >= 0; i-- {
-		out[i] = hex[sum&0xf]
-		sum >>= 4
-	}
-	return string(out[:])
+	return h.Sum()
 }

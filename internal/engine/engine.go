@@ -23,6 +23,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -159,10 +160,72 @@ func (e *Engine) fanOut(ctx context.Context, n int, task func(i int) error) erro
 // new instance, so concurrent tasks never share mutable gates.
 func loadCircuit(name string) (*netlist.Circuit, error) { return iscas.Load(name) }
 
+// validateSourceRef enforces the exactly-one-of rule on a request's
+// circuit reference. The HTTP layer runs it synchronously (mapping
+// failures to 400) and resolveSource runs it for library callers, so
+// the rule — and its wording — lives in one place.
+func validateSourceRef(circuit, bench string) error {
+	switch {
+	case circuit == "" && bench == "":
+		return errors.New("engine: circuit or bench is required")
+	case circuit != "" && bench != "":
+		return errors.New("engine: circuit and bench are mutually exclusive")
+	}
+	return nil
+}
+
+// resolveSource validates a request's circuit reference — exactly one
+// of a suite name or an inline .bench source — and resolves it to a
+// source: display name, canonical fingerprint (the memo key), and
+// instantiation hook. parsed carries a pre-parsed inline netlist (the
+// HTTP layer validates sources synchronously) so each request's bench
+// text is parsed exactly once; nil parses here.
+func (e *Engine) resolveSource(circuit, bench string, parsed *ParsedBench) (*source, error) {
+	if err := validateSourceRef(circuit, bench); err != nil {
+		return nil, err
+	}
+	if bench != "" {
+		pb := parsed
+		if pb == nil {
+			var err error
+			if pb, err = ParseBench(bench); err != nil {
+				return nil, err
+			}
+		}
+		return &source{display: pb.Name, key: pb.Key, master: pb.Circuit}, nil
+	}
+	if !iscas.Known(circuit) {
+		return nil, fmt.Errorf("iscas: unknown benchmark %q", circuit)
+	}
+	// On an alias miss the fingerprint computation has to load the
+	// circuit anyway; donate that instance to the request as its
+	// master so the first task clones it instead of re-generating
+	// (Clone of a deterministic generation is byte-identical to a
+	// fresh load). Alias hits skip the load entirely.
+	var master *netlist.Circuit
+	key, err := e.cache.Alias(circuit, func() (string, error) {
+		c, err := loadCircuit(circuit)
+		if err != nil {
+			return "", err
+		}
+		master = c
+		return netlist.Fingerprint(c), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &source{display: circuit, key: key, master: master, name: circuit}, nil
+}
+
 // OptimizeRequest names one (circuit, Tc) unit of work.
 type OptimizeRequest struct {
-	// Circuit is a suite benchmark name ("c432", "fpd", …).
-	Circuit string `json:"circuit"`
+	// Circuit is a suite benchmark name ("c432", "fpd", …). Exactly
+	// one of Circuit and Bench must be set.
+	Circuit string `json:"circuit,omitempty"`
+	// Bench is a raw ISCAS .bench netlist source optimized in place of
+	// a named benchmark. It is parsed once per request behind the
+	// ingestion validation pass (see ParseBench).
+	Bench string `json:"bench,omitempty"`
 	// Tc is the delay constraint in ps. Zero derives it from Ratio.
 	Tc float64 `json:"tc,omitempty"`
 	// Ratio expresses Tc as a multiple of the critical path's Tmin;
@@ -172,6 +235,10 @@ type OptimizeRequest struct {
 	// selective multi-Vt pass promotes non-critical gates to higher
 	// thresholds under the engine's leakage policy.
 	Leakage bool `json:"leakage,omitempty"`
+
+	// parsed caches the validated Bench netlist when the caller (the
+	// HTTP layer) already parsed it; never serialized.
+	parsed *ParsedBench
 }
 
 // OptimizeResult reports one optimized circuit.
@@ -190,9 +257,13 @@ type OptimizeResult struct {
 // between rounds; the assembled outcome is identical to
 // core.OptimizeCircuit on the same inputs.
 func (e *Engine) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeResult, error) {
-	res := &OptimizeResult{Circuit: req.Circuit}
-	err := e.fanOut(ctx, 1, func(int) error {
-		r, err := e.optimizeTask(ctx, req, nil, nil)
+	src, err := e.resolveSource(req.Circuit, req.Bench, req.parsed)
+	if err != nil {
+		return nil, err
+	}
+	res := &OptimizeResult{}
+	err = e.fanOut(ctx, 1, func(int) error {
+		r, err := e.optimizeTask(ctx, req, src, nil, nil)
 		if err != nil {
 			return err
 		}
@@ -212,26 +283,39 @@ type pathBounds struct {
 }
 
 // optimizeTask is the worker body shared by Optimize, Sweep and Suite.
-// It must be called from a pool slot. instantiate overrides circuit
-// loading when the caller derives netlists from a shared master (it is
-// only invoked on a memo miss, so cached hits never pay for a clone);
-// tb skips the critical-path extraction and bounds solve when the
-// caller already has them.
+// It must be called from a pool slot. src carries the resolved circuit
+// origin; instantiate overrides circuit loading when the caller
+// derives netlists from a shared master (it is only invoked on a memo
+// miss, so cached hits never pay for a clone); tb skips the
+// critical-path extraction and bounds solve when the caller already
+// has them.
 //
 // The whole task is memoized through the shared cache, keyed by
-// (circuit, Tc, ratio, leakage policy): repeated submissions of the
-// same unit — the common case for a long-running daemon, and for suite
-// cells overlapping earlier sweeps — return the completed result
-// without recomputation. Determinism makes the memo transparent: a hit
-// is byte-identical to a fresh computation.
-func (e *Engine) optimizeTask(ctx context.Context, req OptimizeRequest, instantiate func() *netlist.Circuit, tb *pathBounds) (*OptimizeResult, error) {
-	return e.cache.Result(ctx, resultKey(e.model.Proc.Name, req, e.cfg.Leakage), func() (*OptimizeResult, error) {
-		return e.computeTask(ctx, req, instantiate, tb)
+// (circuit fingerprint, Tc, ratio, leakage policy): repeated
+// submissions of the same unit — the common case for a long-running
+// daemon, and for suite cells overlapping earlier sweeps — return the
+// completed result without recomputation. Determinism makes the memo
+// transparent: a hit is byte-identical to a fresh computation.
+func (e *Engine) optimizeTask(ctx context.Context, req OptimizeRequest, src *source, instantiate func() *netlist.Circuit, tb *pathBounds) (*OptimizeResult, error) {
+	r, err := e.cache.Result(ctx, resultKey(e.model.Proc.Name, src.key, req, e.cfg.Leakage), func() (*OptimizeResult, error) {
+		return e.computeTask(ctx, req, src, instantiate, tb)
 	})
+	if err != nil {
+		return nil, err
+	}
+	if r.Circuit != src.display {
+		// A memo hit under a different display name (identical netlist
+		// submitted under another alias): relabel a shallow copy, never
+		// the shared cached value.
+		r2 := *r
+		r2.Circuit = src.display
+		return &r2, nil
+	}
+	return r, nil
 }
 
 // computeTask is the uncached task body behind optimizeTask.
-func (e *Engine) computeTask(ctx context.Context, req OptimizeRequest, instantiate func() *netlist.Circuit, tb *pathBounds) (*OptimizeResult, error) {
+func (e *Engine) computeTask(ctx context.Context, req OptimizeRequest, src *source, instantiate func() *netlist.Circuit, tb *pathBounds) (*OptimizeResult, error) {
 	proto, err := e.protocol()
 	if err != nil {
 		return nil, err
@@ -239,7 +323,7 @@ func (e *Engine) computeTask(ctx context.Context, req OptimizeRequest, instantia
 	var c *netlist.Circuit
 	if instantiate != nil {
 		c = instantiate()
-	} else if c, err = loadCircuit(req.Circuit); err != nil {
+	} else if c, err = src.instantiate(); err != nil {
 		return nil, err
 	}
 	// One incremental timing session serves the whole task: bounds
@@ -277,7 +361,7 @@ func (e *Engine) computeTask(ctx context.Context, req OptimizeRequest, instantia
 	}
 	st := c.Stats()
 	return &OptimizeResult{
-		Circuit: req.Circuit,
+		Circuit: src.display,
 		Tc:      tc,
 		Tmin:    tb.tmin,
 		Tmax:    tb.tmax,
@@ -289,14 +373,21 @@ func (e *Engine) computeTask(ctx context.Context, req OptimizeRequest, instantia
 // SweepRequest asks for an area/delay trade-off curve: the circuit is
 // optimized at every point of a Tc grid spanning Tmin·[1.0 … 2.0].
 type SweepRequest struct {
-	// Circuit is a suite benchmark name.
-	Circuit string `json:"circuit"`
+	// Circuit is a suite benchmark name. Exactly one of Circuit and
+	// Bench must be set.
+	Circuit string `json:"circuit,omitempty"`
+	// Bench is a raw ISCAS .bench netlist source swept in place of a
+	// named benchmark (see OptimizeRequest.Bench).
+	Bench string `json:"bench,omitempty"`
 	// Points is the grid size (default 11: ratio steps of 0.1; at
 	// most MaxSweepPoints).
 	Points int `json:"points,omitempty"`
 	// Leakage makes every point a leakage-aware run (multi-Vt
 	// assignment after sizing) under the engine's leakage policy.
 	Leakage bool `json:"leakage,omitempty"`
+
+	// parsed caches the validated Bench netlist (see OptimizeRequest).
+	parsed *ParsedBench
 }
 
 // Fan-out bounds: requests arrive from the network (popsd), so grid
@@ -370,7 +461,11 @@ func (e *Engine) Sweep(ctx context.Context, req SweepRequest) (*Sweep, error) {
 	if points > MaxSweepPoints {
 		return nil, fmt.Errorf("engine: sweep of %d points exceeds the %d-point cap", points, MaxSweepPoints)
 	}
-	master, err := loadCircuit(req.Circuit)
+	src, err := e.resolveSource(req.Circuit, req.Bench, req.parsed)
+	if err != nil {
+		return nil, err
+	}
+	master, err := src.instantiate()
 	if err != nil {
 		return nil, err
 	}
@@ -382,11 +477,11 @@ func (e *Engine) Sweep(ctx context.Context, req SweepRequest) (*Sweep, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw := &Sweep{Circuit: req.Circuit, Tmin: tmin, Tmax: tmax, Points: make([]SweepPoint, points)}
+	sw := &Sweep{Circuit: src.display, Tmin: tmin, Tmax: tmax, Points: make([]SweepPoint, points)}
 	bounds := &pathBounds{tmin: tmin, tmax: tmax}
 	err = e.fanOut(ctx, points, func(i int) error {
 		ratio := 1.0 + float64(i)/float64(points-1)
-		r, err := e.optimizeTask(ctx, OptimizeRequest{Circuit: req.Circuit, Tc: ratio * tmin, Leakage: req.Leakage}, master.Clone, bounds)
+		r, err := e.optimizeTask(ctx, OptimizeRequest{Tc: ratio * tmin, Leakage: req.Leakage}, src, master.Clone, bounds)
 		if err != nil {
 			return err
 		}
@@ -409,15 +504,27 @@ func (e *Engine) Sweep(ctx context.Context, req SweepRequest) (*Sweep, error) {
 }
 
 // SuiteRequest asks for a batch run over a benchmark list at a set of
-// constraint ratios.
+// constraint ratios. Entries may mix named suite benchmarks and
+// inline .bench netlists.
 type SuiteRequest struct {
-	// Benchmarks lists suite names; empty selects the whole suite.
+	// Benchmarks lists suite names; empty selects the whole suite
+	// (unless Benches supplies inline netlists).
 	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Benches lists raw ISCAS .bench netlist sources optimized
+	// alongside the named benchmarks — a mixed-entry suite. Each
+	// source is parsed once, up front, behind the ingestion validation
+	// pass; rows are labelled by the source's "# name" comment or a
+	// fingerprint-derived name.
+	Benches []string `json:"benches,omitempty"`
 	// Ratios lists Tc/Tmin constraint points (default {1.2, 1.5, 2.0}).
 	Ratios []float64 `json:"ratios,omitempty"`
 	// Leakage makes every cell a leakage-aware run (multi-Vt
 	// assignment after sizing) under the engine's leakage policy.
 	Leakage bool `json:"leakage,omitempty"`
+
+	// parsed caches the validated Benches netlists, index-aligned with
+	// Benches (see OptimizeRequest.parsed).
+	parsed []*ParsedBench
 }
 
 // SuiteRow is one (benchmark, ratio) cell of a suite run.
@@ -443,10 +550,12 @@ type SuiteResult struct {
 
 // Suite fans a benchmark×ratio grid out over the pool, one task per
 // (circuit, Tc) cell — the granularity that load-balances the suite's
-// heterogeneous circuit sizes across workers.
+// heterogeneous circuit sizes across workers. Rows cover the named
+// benchmarks first, then the inline netlists, each crossed with every
+// ratio.
 func (e *Engine) Suite(ctx context.Context, req SuiteRequest) (*SuiteResult, error) {
 	names := req.Benchmarks
-	if len(names) == 0 {
+	if len(names) == 0 && len(req.Benches) == 0 {
 		for _, s := range iscas.Suite() {
 			names = append(names, s.Name)
 		}
@@ -455,25 +564,42 @@ func (e *Engine) Suite(ctx context.Context, req SuiteRequest) (*SuiteResult, err
 	if len(ratios) == 0 {
 		ratios = []float64{1.2, 1.5, 2.0}
 	}
-	if cells := len(names) * len(ratios); cells > MaxSuiteCells {
+	if cells := (len(names) + len(req.Benches)) * len(ratios); cells > MaxSuiteCells {
 		return nil, fmt.Errorf("engine: suite of %d cells exceeds the %d-cell cap", cells, MaxSuiteCells)
 	}
-	// Validate names up front: one typo must not cost a full batch of
-	// optimization work before the error surfaces.
+	// Resolve every entry up front: one typo or bad netlist must not
+	// cost a full batch of optimization work before the error surfaces
+	// (resolveSource validates names before any fan-out).
+	srcs := make([]*source, 0, len(names)+len(req.Benches))
 	for _, name := range names {
-		if !iscas.Known(name) {
-			return nil, fmt.Errorf("iscas: unknown benchmark %q", name)
-		}
-	}
-	rows := make([]SuiteRow, len(names)*len(ratios))
-	err := e.fanOut(ctx, len(rows), func(i int) error {
-		name, ratio := names[i/len(ratios)], ratios[i%len(ratios)]
-		r, err := e.optimizeTask(ctx, OptimizeRequest{Circuit: name, Ratio: ratio, Leakage: req.Leakage}, nil, nil)
+		s, err := e.resolveSource(name, "", nil)
 		if err != nil {
-			return fmt.Errorf("%s@%.2f: %w", name, ratio, err)
+			return nil, err
+		}
+		srcs = append(srcs, s)
+	}
+	// Inline entries parse up front too — a bad netlist fails the
+	// request before any optimization work starts.
+	for i, b := range req.Benches {
+		var pb *ParsedBench
+		if i < len(req.parsed) {
+			pb = req.parsed[i]
+		}
+		s, err := e.resolveSource("", b, pb)
+		if err != nil {
+			return nil, fmt.Errorf("benches[%d]: %w", i, err)
+		}
+		srcs = append(srcs, s)
+	}
+	rows := make([]SuiteRow, len(srcs)*len(ratios))
+	err := e.fanOut(ctx, len(rows), func(i int) error {
+		src, ratio := srcs[i/len(ratios)], ratios[i%len(ratios)]
+		r, err := e.optimizeTask(ctx, OptimizeRequest{Ratio: ratio, Leakage: req.Leakage}, src, nil, nil)
+		if err != nil {
+			return fmt.Errorf("%s@%.2f: %w", src.display, ratio, err)
 		}
 		rows[i] = SuiteRow{
-			Circuit:  name,
+			Circuit:  src.display,
 			Ratio:    ratio,
 			Tc:       r.Tc,
 			Tmin:     r.Tmin,

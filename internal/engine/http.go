@@ -19,8 +19,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/netlist"
 )
 
 // Server is the popsd HTTP service.
@@ -59,12 +62,49 @@ func (s *Server) Store() *Store { return s.store }
 func (s *Server) Shutdown() { s.store.Close() }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// Store.Len, not len(Store.List()): a liveness probe must not
+	// snapshot every retained job (results included) per poll.
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"workers": s.engine.Workers(),
 		"process": s.engine.Model().Proc.Name,
-		"jobs":    len(s.store.List()),
+		"jobs":    s.store.Len(),
 	})
+}
+
+// resolveBench validates a POST body's circuit reference — exactly one
+// of a suite name or an inline .bench source — and pre-parses the
+// inline source so the job never re-parses it. Errors are answered on
+// w directly: 400 for a missing/ambiguous reference or malformed
+// source text, 422 for well-formed text that is not a valid netlist
+// (unsupported gates, cycles, duplicate definitions, over-limit
+// sizes). The bool reports whether the request survived.
+func resolveBench(w http.ResponseWriter, circuit, bench string) (*ParsedBench, bool) {
+	if err := validateSourceRef(circuit, bench); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	if bench == "" {
+		return nil, true
+	}
+	pb, err := parseBenchService(bench)
+	if err != nil {
+		httpError(w, benchStatus(err), err)
+		return nil, false
+	}
+	return pb, true
+}
+
+// benchStatus maps a rejected .bench source to its HTTP status:
+// malformed text is the client's syntax problem (400), while
+// well-formed text describing an invalid or over-limit netlist is a
+// semantic one (422).
+func benchStatus(err error) int {
+	var be *netlist.BenchError
+	if errors.As(err, &be) && be.Kind == netlist.BenchSyntax {
+		return http.StatusBadRequest
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // optimizeBody is the POST /v1/optimize request payload.
@@ -78,16 +118,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &body) {
 		return
 	}
-	if body.Circuit == "" {
-		httpError(w, http.StatusBadRequest, errors.New("circuit is required"))
+	pb, ok := resolveBench(w, body.Circuit, body.Bench)
+	if !ok {
 		return
 	}
+	body.parsed = pb
 	s.dispatch(w, JobOptimize, body.Wait, func(ctx context.Context) (any, error) {
 		res, err := s.engine.Optimize(ctx, body.OptimizeRequest)
 		if err != nil {
 			return nil, err
 		}
-		return wireOptimize(res), nil
+		return WireOptimize(res), nil
 	})
 }
 
@@ -102,10 +143,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &body) {
 		return
 	}
-	if body.Circuit == "" {
-		httpError(w, http.StatusBadRequest, errors.New("circuit is required"))
+	pb, ok := resolveBench(w, body.Circuit, body.Bench)
+	if !ok {
 		return
 	}
+	body.parsed = pb
 	s.dispatch(w, JobSweep, body.Wait, func(ctx context.Context) (any, error) {
 		return s.engine.Sweep(ctx, body.SweepRequest)
 	})
@@ -122,15 +164,34 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &body) {
 		return
 	}
+	// Inline entries are validated synchronously: a bad netlist answers
+	// 400/422 here instead of surfacing as an async job failure.
+	if len(body.Benches) > 0 {
+		body.parsed = make([]*ParsedBench, len(body.Benches))
+		for i, src := range body.Benches {
+			pb, err := parseBenchService(src)
+			if err != nil {
+				httpError(w, benchStatus(err), fmt.Errorf("benches[%d]: %w", i, err))
+				return
+			}
+			body.parsed[i] = pb
+		}
+	}
 	s.dispatch(w, JobSuite, body.Wait, func(ctx context.Context) (any, error) {
 		return s.engine.Suite(ctx, body.SuiteRequest)
 	})
 }
 
 // dispatch submits the job and answers either the finished job (wait)
-// or a 202 snapshot for polling.
+// or a 202 snapshot for polling. A store that began shutting down
+// rejects the submission; that is the daemon draining, not a client
+// error, so it answers 503.
 func (s *Server) dispatch(w http.ResponseWriter, kind JobKind, wait bool, run func(ctx context.Context) (any, error)) {
-	j := s.store.Submit(kind, run)
+	j, err := s.store.Submit(kind, run)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
 	if !wait {
 		writeJSON(w, http.StatusAccepted, j)
 		return
@@ -214,8 +275,11 @@ type PathWire struct {
 	Stages   int     `json:"stages"`
 }
 
-// wireOptimize flattens an OptimizeResult for JSON transport.
-func wireOptimize(r *OptimizeResult) OptimizeWire {
+// WireOptimize flattens an OptimizeResult for JSON transport. It is
+// exported for the rest of the module — the entry-point equivalence
+// tests reproduce the service's wire shape byte-for-byte from a
+// library-level result through it.
+func WireOptimize(r *OptimizeResult) OptimizeWire {
 	o := OptimizeWire{
 		Circuit:     r.Circuit,
 		Tc:          r.Tc,
@@ -268,7 +332,10 @@ const maxBodyBytes = 1 << 20
 
 // readJSON decodes a bounded request body: malformed JSON answers 400,
 // a body over maxBodyBytes answers 413 with a clear message instead of
-// surfacing the truncation as a misleading syntax error.
+// surfacing the truncation as a misleading syntax error, and trailing
+// data after the JSON value answers 400 — the body must be exactly one
+// value, so `{"circuit":"c17"}{"x":1}` is rejected rather than having
+// its tail silently ignored.
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(body)
@@ -283,15 +350,40 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 		httpError(w, http.StatusBadRequest, err)
 		return false
 	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		// The tail can also be where the body blows the size cap (a
+		// valid JSON value followed by megabytes of padding): that is
+		// the documented 413, not trailing-data 400.
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", tooLarge.Limit))
+			return false
+		}
+		httpError(w, http.StatusBadRequest,
+			errors.New("request body contains data after the JSON value"))
+		return false
+	}
 	return true
 }
 
+// writeJSON marshals v to a buffer first and only then touches the
+// ResponseWriter. Encoding straight into the wire would commit the
+// status line before a failure could surface, so an unmarshalable
+// value — a non-finite float leaking out of an infeasible sizing
+// result, say — would yield a truncated body under a 200. With the
+// buffer, encoding failures answer a clean 500 with a JSON error body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		status = http.StatusInternalServerError
+		buf, _ = json.Marshal(map[string]string{
+			"error": fmt.Sprintf("encoding response: %v", err),
+		})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	w.Write(append(buf, '\n'))
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {

@@ -7,10 +7,16 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 )
+
+// ErrStoreClosed reports a Submit against a store whose Close has
+// begun: the job was rejected without running. The HTTP layer maps it
+// to 503 Service Unavailable.
+var ErrStoreClosed = errors.New("engine: job store is closed")
 
 // JobKind names the workload of a job.
 type JobKind string
@@ -56,6 +62,7 @@ type Store struct {
 	done   map[string]chan struct{} // closed when the job finishes
 	order  []string                 // submission order, for List
 	seq    int
+	closed bool // set by Close; Submit rejects afterwards
 	base   context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -75,8 +82,27 @@ func NewStore(ctx context.Context) *Store {
 
 // Submit registers a job and launches it asynchronously. run receives
 // the store's base context and returns the job's result value.
-func (s *Store) Submit(kind JobKind, run func(ctx context.Context) (any, error)) Job {
+//
+// After Close has begun, Submit launches nothing: it returns
+// ErrStoreClosed alongside a rejected snapshot (status JobFailed,
+// never registered in the store). The closed check and the WaitGroup
+// increment share the store's critical section, so a Submit racing
+// Close either registers before Close's Wait begins or is rejected —
+// the Add-after-Wait misuse cannot occur and no job starts after
+// shutdown.
+func (s *Store) Submit(kind JobKind, run func(ctx context.Context) (any, error)) (Job, error) {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		now := time.Now().UTC()
+		return Job{
+			Kind:     kind,
+			Status:   JobFailed,
+			Created:  now,
+			Finished: now,
+			Error:    ErrStoreClosed.Error(),
+		}, ErrStoreClosed
+	}
 	s.seq++
 	j := &Job{
 		ID:      fmt.Sprintf("job-%06d", s.seq),
@@ -89,9 +115,9 @@ func (s *Store) Submit(kind JobKind, run func(ctx context.Context) (any, error))
 	s.done[j.ID] = done
 	s.order = append(s.order, j.ID)
 	snapshot := *j
+	s.wg.Add(1)
 	s.mu.Unlock()
 
-	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer close(done)
@@ -111,7 +137,7 @@ func (s *Store) Submit(kind JobKind, run func(ctx context.Context) (any, error))
 			j.Result = res
 		})
 	}()
-	return snapshot
+	return snapshot, nil
 }
 
 // Await blocks until the job finishes (or was never submitted) and
@@ -144,6 +170,16 @@ func (s *Store) Get(id string) (Job, bool) {
 		return Job{}, false
 	}
 	return *j, true
+}
+
+// Len reports the number of registered jobs. Unlike List it takes only
+// the lock — no per-job snapshot copies — so liveness probes polling
+// the count stay O(1) in allocation regardless of how many finished
+// results the store retains.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
 }
 
 // List returns snapshots of all jobs in submission order.
@@ -185,9 +221,15 @@ func (s *Store) Prune(cutoff time.Time) int {
 // included.
 func (s *Store) Wait() { s.wg.Wait() }
 
-// Close cancels the store's context (stopping in-flight jobs at their
-// next cancellation point) and waits for them to drain.
+// Close stops the store: further Submits are rejected (ErrStoreClosed),
+// the store's context is cancelled (stopping in-flight jobs at their
+// next cancellation point), and Close blocks until they drain. The
+// closed flag is raised under the same lock Submit registers under, so
+// Wait never races a concurrent WaitGroup Add.
 func (s *Store) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
 	s.cancel()
 	s.wg.Wait()
 }

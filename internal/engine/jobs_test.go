@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStoreLen pins the O(1) job counter against the listing.
+func TestStoreLen(t *testing.T) {
+	s := NewStore(context.Background())
+	defer s.Close()
+	if s.Len() != 0 {
+		t.Fatalf("empty store Len %d", s.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(JobOptimize, func(ctx context.Context) (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Wait()
+	if s.Len() != 3 || len(s.List()) != 3 {
+		t.Fatalf("Len %d, List %d, want 3", s.Len(), len(s.List()))
+	}
+	s.Prune(time.Time{})
+	if s.Len() != 0 {
+		t.Fatalf("Len %d after prune", s.Len())
+	}
+}
+
+// TestSubmitAfterClose pins the shutdown contract: a Submit after
+// Close launches nothing and returns a rejected snapshot.
+func TestSubmitAfterClose(t *testing.T) {
+	s := NewStore(context.Background())
+	s.Close()
+	ran := false
+	j, err := s.Submit(JobOptimize, func(ctx context.Context) (any, error) {
+		ran = true
+		return nil, nil
+	})
+	if !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrStoreClosed", err)
+	}
+	if j.ID != "" || j.Status != JobFailed || j.Error != ErrStoreClosed.Error() {
+		t.Fatalf("rejected snapshot = %+v", j)
+	}
+	s.Wait() // must not hang, and must not have launched anything
+	if ran {
+		t.Fatal("job ran after Close")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("rejected job was registered (Len %d)", s.Len())
+	}
+}
+
+// TestSubmitCloseRace hammers Submit from many goroutines while Close
+// runs — under -race this is the regression test for the historical
+// WaitGroup Add-after-Wait misuse, and it asserts the liveness
+// contract: no job starts after Close has returned.
+func TestSubmitCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s := NewStore(context.Background())
+		var started, closed atomic.Int64
+		var lateStart atomic.Bool
+
+		const submitters = 8
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					j, err := s.Submit(JobOptimize, func(ctx context.Context) (any, error) {
+						if closed.Load() != 0 {
+							lateStart.Store(true)
+						}
+						started.Add(1)
+						return nil, ctx.Err()
+					})
+					if err != nil {
+						// Store closed underneath us: rejected, done.
+						if !errors.Is(err, ErrStoreClosed) || j.Status != JobFailed {
+							t.Errorf("rejection = %v / %+v", err, j)
+						}
+						return
+					}
+				}
+			}()
+		}
+		// Let the submitters get going, then shut down concurrently.
+		time.Sleep(time.Duration(round%4) * 100 * time.Microsecond)
+		s.Close()
+		closed.Store(1)
+		close(stop)
+		wg.Wait()
+		if lateStart.Load() {
+			t.Fatal("a job started after Close returned")
+		}
+		// Every accepted job must have fully finished by the time Close
+		// returned (it drains the WaitGroup).
+		for _, j := range s.List() {
+			if j.Status != JobDone && j.Status != JobFailed {
+				t.Fatalf("job %s still %s after Close", j.ID, j.Status)
+			}
+		}
+		if int64(s.Len()) != started.Load() {
+			t.Fatalf("store holds %d jobs but %d ran", s.Len(), started.Load())
+		}
+	}
+}

@@ -19,6 +19,9 @@ type BenchOptions struct {
 	// Name overrides the circuit name (otherwise taken from the first
 	// "# name" comment or left empty).
 	Name string
+	// Limits bounds the source for untrusted callers; the zero value
+	// applies no limits.
+	Limits BenchLimits
 }
 
 // DefaultOutputLoad is the terminal load (fF) applied to primary
@@ -39,6 +42,13 @@ const DefaultOutputLoad = 12.0
 // into balanced trees of library cells (real ISCAS'85 circuits contain
 // up to 9-input gates), which preserves the boolean function exactly.
 // Forward references are legal: the file is read in two passes.
+//
+// Every rejection is a typed *BenchError (possibly wrapped): malformed
+// text is BenchSyntax, invalid netlists — duplicate or undefined nets,
+// duplicate INPUT/OUTPUT declarations, unsupported operators, wrong
+// arity, combinational cycles — are BenchSemantic, and violations of
+// opts.Limits are BenchTooLarge. Services ingesting untrusted sources
+// map these to client-error statuses.
 func ReadBench(r io.Reader, opts BenchOptions) (*Circuit, error) {
 	load := opts.OutputLoad
 	if load <= 0 {
@@ -51,9 +61,13 @@ func ReadBench(r io.Reader, opts BenchOptions) (*Circuit, error) {
 		args []string
 		line int
 	}
+	type decl struct {
+		name string
+		line int
+	}
 	var (
-		inputs  []string
-		outputs []string
+		inputs  []decl
+		outputs []decl
 		raws    []rawGate
 		name    = opts.Name
 	)
@@ -78,40 +92,57 @@ func ReadBench(r io.Reader, opts BenchOptions) (*Circuit, error) {
 			continue
 		}
 		switch {
-		case hasPrefixFold(line, "INPUT"):
+		case hasPrefixFold(line, "INPUT") && !strings.Contains(line, "="):
 			arg, err := parseParen(line, "INPUT")
 			if err != nil {
-				return nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+				return nil, benchErr(BenchSyntax, lineNo, "%v", err)
 			}
-			inputs = append(inputs, arg)
-		case hasPrefixFold(line, "OUTPUT"):
+			inputs = append(inputs, decl{arg, lineNo})
+		case hasPrefixFold(line, "OUTPUT") && !strings.Contains(line, "="):
 			arg, err := parseParen(line, "OUTPUT")
 			if err != nil {
-				return nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+				return nil, benchErr(BenchSyntax, lineNo, "%v", err)
 			}
-			outputs = append(outputs, arg)
+			outputs = append(outputs, decl{arg, lineNo})
 		default:
 			eq := strings.IndexByte(line, '=')
 			if eq < 0 {
-				return nil, fmt.Errorf("bench line %d: expected assignment, got %q", lineNo, line)
+				return nil, benchErr(BenchSyntax, lineNo, "expected assignment, got %q", line)
 			}
 			lhs := strings.TrimSpace(line[:eq])
 			rhs := strings.TrimSpace(line[eq+1:])
+			if lhs == "" {
+				return nil, benchErr(BenchSyntax, lineNo, "assignment without a net name %q", line)
+			}
 			op, args, err := parseCall(rhs)
 			if err != nil {
-				return nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+				return nil, benchErr(BenchSyntax, lineNo, "%v", err)
+			}
+			if m := opts.Limits.MaxFanIn; m > 0 && len(args) > m {
+				return nil, benchErr(BenchTooLarge, lineNo,
+					"gate %q has %d inputs, over the %d-input cap", lhs, len(args), m)
+			}
+			if m := opts.Limits.MaxGates; m > 0 && len(raws) >= m {
+				return nil, benchErr(BenchTooLarge, lineNo,
+					"netlist exceeds the %d-gate cap", m)
 			}
 			raws = append(raws, rawGate{name: lhs, op: op, args: args, line: lineNo})
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("bench: read: %v", err)
+		if err == bufio.ErrTooLong {
+			return nil, benchErr(BenchTooLarge, lineNo+1, "line exceeds the scanner buffer")
+		}
+		return nil, benchErr(BenchSyntax, 0, "read: %v", err)
 	}
 
 	c := New(name)
 	for _, in := range inputs {
-		if _, err := c.AddInput(in); err != nil {
-			return nil, err
+		if c.Node(in.name) != nil {
+			return nil, benchErr(BenchSemantic, in.line, "duplicate INPUT(%s)", in.name)
+		}
+		if _, err := c.AddInput(in.name); err != nil {
+			return nil, benchErr(BenchSemantic, in.line, "%v", err)
 		}
 	}
 
@@ -120,39 +151,45 @@ func ReadBench(r io.Reader, opts BenchOptions) (*Circuit, error) {
 	pending := make(map[string]rawGate, len(raws))
 	for _, rg := range raws {
 		if _, dup := pending[rg.name]; dup {
-			return nil, fmt.Errorf("bench line %d: duplicate gate %q", rg.line, rg.name)
+			return nil, benchErr(BenchSemantic, rg.line, "duplicate gate %q", rg.name)
+		}
+		if c.Node(rg.name) != nil {
+			return nil, benchErr(BenchSemantic, rg.line, "gate %q redefines an INPUT", rg.name)
 		}
 		pending[rg.name] = rg
 	}
 	defined := make(map[string]bool, len(inputs)+len(raws))
 	for _, in := range inputs {
-		defined[in] = true
+		defined[in.name] = true
 	}
 
-	// Emit gates in dependency order with an explicit stack (the files
-	// are usually already ordered; this tolerates any order).
-	var emit func(name string, trail []string) error
-	emit = func(gname string, trail []string) error {
+	// Emit gates in dependency order by depth-first descent (the files
+	// are usually already ordered; this tolerates any order). onStack
+	// marks the current descent path for O(1) cycle detection — a
+	// linear trail scan here is quadratic on long chains, long enough
+	// to matter for a service parsing untrusted megabyte sources.
+	onStack := make(map[string]bool)
+	var emit func(name string, refLine int) error
+	emit = func(gname string, refLine int) error {
 		if defined[gname] {
 			return nil
 		}
 		rg, ok := pending[gname]
 		if !ok {
-			return fmt.Errorf("bench: undefined net %q referenced", gname)
+			return benchErr(BenchSemantic, refLine, "undefined net %q referenced", gname)
 		}
-		for _, t := range trail {
-			if t == gname {
-				return fmt.Errorf("bench: combinational cycle through %q", gname)
-			}
+		if onStack[gname] {
+			return benchErr(BenchSemantic, rg.line, "combinational cycle through %q", gname)
 		}
-		trail = append(trail, gname)
+		onStack[gname] = true
 		for _, a := range rg.args {
-			if err := emit(a, trail); err != nil {
+			if err := emit(a, rg.line); err != nil {
 				return err
 			}
 		}
+		delete(onStack, gname)
 		if err := addBenchGate(c, rg.name, rg.op, rg.args); err != nil {
-			return fmt.Errorf("bench line %d: %v", rg.line, err)
+			return benchErr(BenchSemantic, rg.line, "%v", err)
 		}
 		defined[gname] = true
 		return nil
@@ -163,14 +200,19 @@ func ReadBench(r io.Reader, opts BenchOptions) (*Circuit, error) {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		if err := emit(n, nil); err != nil {
+		if err := emit(n, pending[n].line); err != nil {
 			return nil, err
 		}
 	}
 
+	seenOut := make(map[string]bool, len(outputs))
 	for _, out := range outputs {
-		if _, err := c.AddOutput(out, load); err != nil {
-			return nil, err
+		if seenOut[out.name] {
+			return nil, benchErr(BenchSemantic, out.line, "duplicate OUTPUT(%s)", out.name)
+		}
+		seenOut[out.name] = true
+		if _, err := c.AddOutput(out.name, load); err != nil {
+			return nil, benchErr(BenchSemantic, out.line, "%v", err)
 		}
 	}
 	return c, nil
@@ -181,7 +223,7 @@ func ReadBench(r io.Reader, opts BenchOptions) (*Circuit, error) {
 func addBenchGate(c *Circuit, name, op string, args []string) error {
 	t, err := gate.ParseType(op)
 	if err != nil {
-		return err
+		return fmt.Errorf("unsupported bench operator %q", op)
 	}
 	n := len(args)
 	switch t {

@@ -1,0 +1,77 @@
+package netlist
+
+import "fmt"
+
+// BenchErrorKind classifies why a .bench source was rejected. The
+// kinds partition rejections by who is at fault and how a service
+// should answer: syntax errors are malformed text (HTTP 400), semantic
+// errors are well-formed text that does not describe a valid
+// combinational netlist (HTTP 422), and limit violations are inputs a
+// deployment refuses to elaborate (HTTP 422).
+type BenchErrorKind int
+
+// Rejection classes of a .bench source.
+const (
+	// BenchSyntax marks text that is not well-formed .bench: malformed
+	// INPUT/OUTPUT declarations, a gate line without '=', unbalanced
+	// parentheses, empty operands.
+	BenchSyntax BenchErrorKind = iota
+	// BenchSemantic marks well-formed text that is not a valid
+	// combinational netlist: unsupported operators, wrong arity,
+	// duplicate or undefined nets, combinational cycles.
+	BenchSemantic
+	// BenchTooLarge marks a source that exceeds a configured
+	// BenchLimits bound (gate count, fan-in, scanner line length).
+	BenchTooLarge
+)
+
+// String names the kind for diagnostics.
+func (k BenchErrorKind) String() string {
+	switch k {
+	case BenchSyntax:
+		return "syntax"
+	case BenchSemantic:
+		return "semantic"
+	case BenchTooLarge:
+		return "too-large"
+	}
+	return fmt.Sprintf("BenchErrorKind(%d)", int(k))
+}
+
+// BenchError is the typed rejection of a .bench source. Every error
+// path of ReadBench returns one (possibly wrapped), so callers
+// ingesting untrusted netlists — the HTTP service in particular — can
+// map the Kind to a client-error status instead of surfacing an opaque
+// internal failure.
+type BenchError struct {
+	Kind BenchErrorKind
+	Line int    // 1-based source line; 0 when not line-addressable
+	Msg  string // human-readable cause
+}
+
+// Error implements the error interface.
+func (e *BenchError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("bench line %d: %s", e.Line, e.Msg)
+	}
+	return "bench: " + e.Msg
+}
+
+// benchErr builds a BenchError with a formatted message.
+func benchErr(kind BenchErrorKind, line int, format string, args ...any) *BenchError {
+	return &BenchError{Kind: kind, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// BenchLimits bounds ReadBench when parsing untrusted sources. Zero
+// fields apply no bound, so the zero value preserves the permissive
+// behavior trusted callers (the embedded suite, tests) rely on.
+type BenchLimits struct {
+	// MaxGates caps the number of gate definitions (counted before
+	// wide-gate decomposition).
+	MaxGates int
+	// MaxFanIn caps the operand count of a single gate definition.
+	// Wide gates within the cap are still decomposed into library
+	// cells; the cap exists to bound the decomposition trees an
+	// adversarial source can demand.
+	MaxFanIn int
+}

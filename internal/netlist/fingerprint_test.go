@@ -1,0 +1,60 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gate"
+)
+
+func fpCircuit(t *testing.T, name string) *Circuit {
+	t.Helper()
+	src := "INPUT(a)\nINPUT(b)\nx = NAND(a, b)\ny = NOT(x)\nOUTPUT(y)\n"
+	c, err := ReadBench(strings.NewReader(src), BenchOptions{Name: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFingerprintCanonical pins the identity contract: equal content
+// gives equal fingerprints regardless of the circuit's name, clones
+// share their original's fingerprint, and any structural, sizing, wire
+// or Vt difference changes it.
+func TestFingerprintCanonical(t *testing.T) {
+	a := fpCircuit(t, "alpha")
+	b := fpCircuit(t, "beta")
+	fa := Fingerprint(a)
+	if len(fa) != 64 {
+		t.Fatalf("fingerprint length %d, want 64 hex chars", len(fa))
+	}
+	if fb := Fingerprint(b); fa != fb {
+		t.Fatalf("name changed the fingerprint: %s vs %s", fa, fb)
+	}
+	if fc := Fingerprint(a.Clone()); fa != fc {
+		t.Fatalf("clone changed the fingerprint")
+	}
+
+	sized := fpCircuit(t, "alpha")
+	sized.Node("x").CIn *= 2
+	if Fingerprint(sized) == fa {
+		t.Fatal("size write did not change the fingerprint")
+	}
+	wired := fpCircuit(t, "alpha")
+	wired.Node("x").CWire += 1.5
+	if Fingerprint(wired) == fa {
+		t.Fatal("wire load did not change the fingerprint")
+	}
+	vt := fpCircuit(t, "alpha")
+	vt.Node("x").Vt++
+	if Fingerprint(vt) == fa {
+		t.Fatal("Vt class did not change the fingerprint")
+	}
+	grown := fpCircuit(t, "alpha")
+	if _, err := grown.AddGate("z", gate.Inv, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(grown) == fa {
+		t.Fatal("added gate did not change the fingerprint")
+	}
+}

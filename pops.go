@@ -194,6 +194,56 @@ func LoadBenchFile(path string) (*Circuit, error) {
 // WriteBench serializes a circuit in .bench format.
 func WriteBench(w io.Writer, c *Circuit) error { return netlist.WriteBench(w, c) }
 
+// Bring-your-own-netlist types, re-exported from the netlist and
+// engine layers.
+type (
+	// BenchError is the typed rejection of a user-supplied .bench
+	// source; its Kind distinguishes malformed text (BenchSyntax) from
+	// invalid netlists (BenchSemantic) and limit violations
+	// (BenchTooLarge).
+	BenchError = netlist.BenchError
+	// BenchErrorKind classifies a BenchError.
+	BenchErrorKind = netlist.BenchErrorKind
+	// ParsedBench is a validated, elaborated inline netlist with its
+	// canonical content fingerprint — ready to optimize.
+	ParsedBench = engine.ParsedBench
+)
+
+// Rejection classes of a user-supplied .bench source, re-exported.
+const (
+	// BenchSyntax marks text that is not well-formed .bench.
+	BenchSyntax = netlist.BenchSyntax
+	// BenchSemantic marks well-formed text that is not a valid
+	// combinational netlist (cycles, duplicates, unsupported gates).
+	BenchSemantic = netlist.BenchSemantic
+	// BenchTooLarge marks a source exceeding an ingestion limit.
+	BenchTooLarge = netlist.BenchTooLarge
+)
+
+// ParseBench parses, validates and elaborates an inline .bench source
+// behind the hardened ingestion pass (loop detection, duplicate,
+// arity and undefined-net checks). Rejections are typed *BenchError
+// values. Like LoadBenchFile, it applies no size caps — those guard
+// the untrusted HTTP boundary (popsd), not trusted local sources.
+func ParseBench(src string) (*ParsedBench, error) { return engine.ParseBench(src) }
+
+// Fingerprint returns the canonical content hash of a circuit — the
+// identity the batch engine memoizes results under, independent of the
+// circuit's name.
+func Fingerprint(c *Circuit) string { return netlist.Fingerprint(c) }
+
+// OptimizeBench runs the full circuit protocol on an inline .bench
+// source through a batch engine: the same ingestion, validation and
+// memoization path as POST /v1/optimize {"bench": …} and
+// `pops optimize -bench`, so results are byte-identical across all
+// three entry points. Constraint fields of req (Tc, Ratio, Leakage)
+// apply; its Circuit field is ignored.
+func OptimizeBench(ctx context.Context, e *Engine, src string, req OptimizeRequest) (*OptimizeResult, error) {
+	req.Circuit = ""
+	req.Bench = src
+	return e.Optimize(ctx, req)
+}
+
 // Benchmarks lists the paper's benchmark suite.
 func Benchmarks() []BenchmarkSpec { return iscas.Suite() }
 
