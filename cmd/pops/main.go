@@ -15,6 +15,7 @@
 //	pops flimit                                      # library characterization
 //	pops calibrate                                   # fit model from simulator
 //	pops list                                        # benchmark suite
+//	pops metrics  [-addr http://localhost:8080]      # scrape a running popsd
 //
 // Circuits are either ISCAS'85 .bench files (elaborated onto the
 // primitive library on load) or named members of the paper's benchmark
@@ -29,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/report"
@@ -48,18 +51,19 @@ func main() {
 	ratio := fs.Float64("ratio", 0, "delay constraint as a multiple of Tmin")
 	k := fs.Int("k", 3, "number of worst paths to report (analyze)")
 	points := fs.Int("points", 11, "Tc grid size (sweep)")
+	addr := fs.String("addr", "http://localhost:8080", "base URL of a running popsd (metrics)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
-	if err := run(os.Stdout, cmd, *benchFile, *circuit, *tc, *ratio, *k, *points); err != nil {
+	if err := run(os.Stdout, cmd, *benchFile, *circuit, *addr, *tc, *ratio, *k, *points); err != nil {
 		fmt.Fprintln(os.Stderr, "pops:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pops <analyze|bounds|optimize|sweep|leakage|report|slack|power|flimit|calibrate|list> [flags]
+	fmt.Fprintln(os.Stderr, `usage: pops <analyze|bounds|optimize|sweep|leakage|report|slack|power|flimit|calibrate|list|metrics> [flags]
 run "pops <command> -h" for command flags`)
 }
 
@@ -125,11 +129,25 @@ func printPower(w io.Writer, c *pops.Circuit, proc *pops.Process) error {
 	return nil
 }
 
-func run(w io.Writer, cmd, benchFile, circuit string, tc, ratio float64, k, points int) error {
+func run(w io.Writer, cmd, benchFile, circuit, addr string, tc, ratio float64, k, points int) error {
 	proc := pops.DefaultProcess()
 	model := pops.NewModel(proc)
 
 	switch cmd {
+	case "metrics":
+		// Scrape a running daemon's Prometheus exposition and relay it
+		// verbatim — the CLI face of GET /metrics.
+		resp, err := http.Get(strings.TrimSuffix(addr, "/") + "/metrics")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("metrics: %s answered %s", addr, resp.Status)
+		}
+		_, err = io.Copy(w, resp.Body)
+		return err
+
 	case "optimize":
 		bench, name, err := engineSource(benchFile, circuit)
 		if err != nil {

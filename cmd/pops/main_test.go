@@ -5,6 +5,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,7 +24,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func golden(t *testing.T, name, cmd, circuit string, tc, ratio float64, k int) {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := run(&buf, cmd, "", circuit, tc, ratio, k, 11); err != nil {
+	if err := run(&buf, cmd, "", circuit, "", tc, ratio, k, 11); err != nil {
 		t.Fatalf("%s: %v", cmd, err)
 	}
 	path := filepath.Join("testdata", name+".golden")
@@ -74,29 +75,29 @@ func TestBoundsGolden(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "optimize", "", "fpd", 0, 0, 3, 11); err == nil ||
+	if err := run(&buf, "optimize", "", "fpd", "", 0, 0, 3, 11); err == nil ||
 		!strings.Contains(err.Error(), "-tc or -ratio") {
 		t.Fatalf("optimize without constraint: %v", err)
 	}
-	if err := run(&buf, "leakage", "", "fpd", 0, 0, 3, 11); err == nil ||
+	if err := run(&buf, "leakage", "", "fpd", "", 0, 0, 3, 11); err == nil ||
 		!strings.Contains(err.Error(), "-tc or -ratio") {
 		t.Fatalf("leakage without constraint: %v", err)
 	}
-	if err := run(&buf, "analyze", "", "", 0, 0, 3, 11); err == nil ||
+	if err := run(&buf, "analyze", "", "", "", 0, 0, 3, 11); err == nil ||
 		!strings.Contains(err.Error(), "-bench or -circuit") {
 		t.Fatalf("analyze without circuit: %v", err)
 	}
-	if err := run(&buf, "frobnicate", "", "fpd", 0, 0, 3, 11); err == nil ||
+	if err := run(&buf, "frobnicate", "", "fpd", "", 0, 0, 3, 11); err == nil ||
 		!strings.Contains(err.Error(), "unknown command") {
 		t.Fatalf("unknown command: %v", err)
 	}
 	// Both sources is rejected, never silently resolved — the same rule
 	// the engine and HTTP layer enforce.
-	if err := run(&buf, "optimize", "x.bench", "fpd", 0, 1.3, 3, 11); err == nil ||
+	if err := run(&buf, "optimize", "x.bench", "fpd", "", 0, 1.3, 3, 11); err == nil ||
 		!strings.Contains(err.Error(), "mutually exclusive") {
 		t.Fatalf("optimize with both sources: %v", err)
 	}
-	if err := run(&buf, "analyze", "x.bench", "fpd", 0, 0, 3, 11); err == nil ||
+	if err := run(&buf, "analyze", "x.bench", "fpd", "", 0, 0, 3, 11); err == nil ||
 		!strings.Contains(err.Error(), "mutually exclusive") {
 		t.Fatalf("analyze with both sources: %v", err)
 	}
@@ -104,7 +105,7 @@ func TestRunErrors(t *testing.T) {
 
 func TestSweepGolden(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "sweep", "", "fpd", 0, 0, 3, 5); err != nil {
+	if err := run(&buf, "sweep", "", "fpd", "", 0, 0, 3, 5); err != nil {
 		t.Fatalf("sweep: %v", err)
 	}
 	path := filepath.Join("testdata", "sweep_fpd.golden")
@@ -134,7 +135,7 @@ func TestOptimizeBenchFileMatchesFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got bytes.Buffer
-	if err := run(&got, "optimize", file, "", 0, 1.3, 3, 11); err != nil {
+	if err := run(&got, "optimize", file, "", "", 0, 1.3, 3, 11); err != nil {
 		t.Fatalf("optimize -bench: %v", err)
 	}
 
@@ -161,5 +162,35 @@ func TestOptimizeBenchFileMatchesFacade(t *testing.T) {
 	if got.String() != want.String() {
 		t.Errorf("CLI output diverged from the facade\n--- cli\n%s--- facade\n%s",
 			got.String(), want.String())
+	}
+}
+
+// TestMetricsSubcommand drives `pops metrics` against an in-process
+// engine server: the subcommand must relay the daemon's Prometheus
+// exposition verbatim and fail cleanly on a non-200 answer.
+func TestMetricsSubcommand(t *testing.T) {
+	eng, err := pops.NewEngine(pops.EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := pops.NewEngineServer(context.Background(), eng)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown()
+
+	var buf bytes.Buffer
+	if err := run(&buf, "metrics", "", "", ts.URL, 0, 0, 3, 11); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# TYPE pops_http_requests_total counter", "pops_queue_depth"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%.400s", want, out)
+		}
+	}
+
+	if err := run(&buf, "metrics", "", "", ts.URL+"/nope", 0, 0, 3, 11); err == nil ||
+		!strings.Contains(err.Error(), "answered") {
+		t.Fatalf("metrics against a 404 path returned %v, want status error", err)
 	}
 }

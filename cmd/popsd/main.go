@@ -4,10 +4,12 @@
 // Usage:
 //
 //	popsd [-addr :8080] [-workers N] [-max-rounds N] [-pprof-addr addr]
+//	      [-log-level info] [-log-format text]
 //
 // Endpoints (see internal/engine's HTTP layer):
 //
 //	GET  /healthz
+//	GET  /metrics
 //	POST /v1/optimize   {"circuit":"c432","ratio":1.4}
 //	POST /v1/sweep      {"circuit":"c880","points":9}
 //	POST /v1/suite      {"benchmarks":["fpd","c432"],"ratios":[1.2,2.0]}
@@ -23,9 +25,16 @@
 // engine's hardened ingestion pass. See docs/API.md for the full
 // request/response reference.
 //
+// Observability: GET /metrics exposes the engine's instruments in the
+// Prometheus text format, every response carries an X-Request-ID that
+// also lands in the submitted job's record, and the daemon logs
+// structured access/job lines on stderr (-log-level debug|info|warn|
+// error, -log-format text|json).
+//
 // -pprof-addr opens an additional net/http/pprof debug listener (e.g.
 // "localhost:6060") so a running daemon can be profiled in place; it
-// is off by default and should never be exposed publicly.
+// is off by default and should never be exposed publicly. A bad
+// address fails startup instead of degrading silently.
 package main
 
 import (
@@ -33,7 +42,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -43,16 +54,37 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
+// options carries the parsed command line into run.
+type options struct {
+	addr      string
+	pprofAddr string
+	workers   int
+	maxRounds int
+	logLevel  string
+	logFormat string
+}
+
+// shutdownTimeout bounds the graceful drain of both listeners and the
+// async job store.
+const shutdownTimeout = 15 * time.Second
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size")
-	maxRounds := flag.Int("max-rounds", 0, "per-circuit protocol round bound (0: library default)")
-	pprofAddr := flag.String("pprof-addr", "", "listen address of the opt-in net/http/pprof debug endpoint (empty: disabled)")
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&opts.workers, "workers", runtime.GOMAXPROCS(0), "worker-pool size")
+	flag.IntVar(&opts.maxRounds, "max-rounds", 0, "per-circuit protocol round bound (0: library default)")
+	flag.StringVar(&opts.pprofAddr, "pprof-addr", "", "listen address of the opt-in net/http/pprof debug endpoint (empty: disabled)")
+	flag.StringVar(&opts.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	flag.StringVar(&opts.logFormat, "log-format", "text", "log line encoding: text or json")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *maxRounds, *pprofAddr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, opts, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "popsd:", err)
 		os.Exit(1)
 	}
@@ -71,39 +103,55 @@ func pprofMux() *http.ServeMux {
 	return mux
 }
 
-func run(addr string, workers, maxRounds int, pprofAddr string) error {
-	eng, err := engine.New(engine.Config{Workers: workers, MaxRounds: maxRounds})
+// run builds the engine and both listeners, then serves until ctx is
+// cancelled. Listeners are opened synchronously so a bad -addr or
+// -pprof-addr fails startup with a clear error instead of a log line
+// from a doomed goroutine.
+func run(ctx context.Context, opts options, logw io.Writer) error {
+	logger, err := obs.NewLogger(logw, opts.logLevel, opts.logFormat)
 	if err != nil {
 		return err
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	srv := engine.NewServer(ctx, eng)
-	httpSrv := &http.Server{
-		Addr:              addr,
-		Handler:           srv,
-		ReadHeaderTimeout: 10 * time.Second,
+	eng, err := engine.New(engine.Config{Workers: opts.workers, MaxRounds: opts.maxRounds})
+	if err != nil {
+		return err
 	}
+	srv := engine.NewServer(ctx, eng, engine.WithLogger(logger))
 
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	var pprofLn net.Listener
+	if opts.pprofAddr != "" {
+		pprofLn, err = net.Listen("tcp", opts.pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+	}
+	return serve(ctx, logger, eng, srv, ln, pprofLn)
+}
+
+// serve runs the API server (and the optional pprof server) on
+// already-open listeners until ctx is cancelled, then drains both
+// gracefully under one shared shutdownTimeout deadline and closes the
+// job store. Tests drive it directly with ephemeral-port listeners.
+func serve(ctx context.Context, logger *slog.Logger, eng *engine.Engine, srv *engine.Server, ln, pprofLn net.Listener) error {
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("popsd: listening on %s with %d workers", addr, eng.Workers())
-		errc <- httpSrv.ListenAndServe()
+		logger.Info("listening", "addr", ln.Addr().String(), "workers", eng.Workers())
+		errc <- httpSrv.Serve(ln)
 	}()
 
 	var pprofSrv *http.Server
-	if pprofAddr != "" {
-		pprofSrv = &http.Server{
-			Addr:              pprofAddr,
-			Handler:           pprofMux(),
-			ReadHeaderTimeout: 10 * time.Second,
-		}
+	if pprofLn != nil {
+		pprofSrv = &http.Server{Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
 		go func() {
-			log.Printf("popsd: pprof debug endpoint on %s", pprofAddr)
-			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("popsd: pprof listener: %v", err)
+			logger.Info("pprof debug endpoint", "addr", pprofLn.Addr().String())
+			if err := pprofSrv.Serve(pprofLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof listener failed", "error", err.Error())
 			}
 		}()
 	}
@@ -114,14 +162,17 @@ func run(addr string, workers, maxRounds int, pprofAddr string) error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("popsd: shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	logger.Info("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	if pprofSrv != nil {
-		// Close, not Shutdown: a debug endpoint needs no graceful drain,
-		// and a long-running profile request must not eat the 15 s
-		// budget the API jobs' drain depends on.
-		_ = pprofSrv.Close()
+		// Graceful Shutdown under the same deadline as the API server: an
+		// in-flight profile download completes when it can, and the shared
+		// deadline still caps the total drain so a hung profiler cannot
+		// stall the exit.
+		if err := pprofSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Warn("pprof shutdown", "error", err.Error())
+		}
 	}
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err

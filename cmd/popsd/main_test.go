@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// startDaemon runs serve on ephemeral-port listeners and returns the
+// base URLs plus a cancel/join pair for the graceful-shutdown path.
+func startDaemon(t *testing.T, withPprof bool) (apiURL, pprofURL string, cancel context.CancelFunc, wait func() error) {
+	t.Helper()
+	eng, err := engine.New(engine.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := engine.NewServer(ctx, eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pprofLn net.Listener
+	if withPprof {
+		if pprofLn, err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		pprofURL = "http://" + pprofLn.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- serve(ctx, obs.Discard(), eng, srv, ln, pprofLn) }()
+	t.Cleanup(cancel)
+	return "http://" + ln.Addr().String(), pprofURL, cancel, func() error {
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(20 * time.Second):
+			return fmt.Errorf("serve did not return after cancel")
+		}
+	}
+}
+
+func TestServeHealthAndMetrics(t *testing.T) {
+	apiURL, _, cancel, wait := startDaemon(t, false)
+	resp, err := http.Get(apiURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status": "ok"`) {
+		t.Fatalf("healthz status %d body %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(apiURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "pops_http_requests_total") {
+		t.Fatalf("metrics status %d body %s", resp.StatusCode, body)
+	}
+	cancel()
+	if err := wait(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+// TestPprofEndpointServed checks the opt-in debug listener: the pprof
+// index answers on the dedicated mux, and shutdown drains it.
+func TestPprofEndpointServed(t *testing.T) {
+	_, pprofURL, cancel, wait := startDaemon(t, true)
+	resp, err := http.Get(pprofURL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "profile") {
+		t.Fatalf("pprof index status %d body %.200s", resp.StatusCode, body)
+	}
+	// The debug mux must expose exactly the profiling routes — the API
+	// surface stays off it.
+	resp, err = http.Get(pprofURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof mux served /healthz with %d, want 404", resp.StatusCode)
+	}
+	cancel()
+	if err := wait(); err != nil {
+		t.Fatalf("graceful shutdown with pprof: %v", err)
+	}
+}
+
+// TestPprofDisabledByDefault: with no -pprof-addr no debug listener
+// exists, and the API mux does not serve the pprof routes.
+func TestPprofDisabledByDefault(t *testing.T) {
+	apiURL, _, cancel, wait := startDaemon(t, false)
+	resp, err := http.Get(apiURL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("API mux served /debug/pprof/ with %d, want 404", resp.StatusCode)
+	}
+	cancel()
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunBadPprofAddrFailsStartup: a bad -pprof-addr must fail run
+// synchronously instead of degrading to a log line from a doomed
+// goroutine.
+func TestRunBadPprofAddrFailsStartup(t *testing.T) {
+	err := run(context.Background(), options{
+		addr:      "127.0.0.1:0",
+		pprofAddr: "definitely-not-an-address:-1",
+		workers:   1,
+		logLevel:  "info",
+		logFormat: "text",
+	}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "pprof listener") {
+		t.Fatalf("run with bad pprof addr returned %v, want pprof listener error", err)
+	}
+}
+
+// TestRunBadLogFlagsFailStartup: unknown -log-level / -log-format
+// values are configuration errors, not silent fallbacks.
+func TestRunBadLogFlagsFailStartup(t *testing.T) {
+	for _, opts := range []options{
+		{addr: "127.0.0.1:0", workers: 1, logLevel: "loud", logFormat: "text"},
+		{addr: "127.0.0.1:0", workers: 1, logLevel: "info", logFormat: "yaml"},
+	} {
+		if err := run(context.Background(), opts, io.Discard); err == nil {
+			t.Errorf("run with opts %+v succeeded, want error", opts)
+		}
+	}
+}

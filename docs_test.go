@@ -156,6 +156,41 @@ func TestDocsBenchIngestionCovered(t *testing.T) {
 	}
 }
 
+// TestDocsObservabilityCovered pins the observability surface into the
+// documentation: the HTTP reference must document the /metrics endpoint,
+// the metric families, and the request-tracing contract; the
+// architecture page must describe the instrumentation layer; and the
+// README must show how to scrape the daemon.
+func TestDocsObservabilityCovered(t *testing.T) {
+	requirements := map[string][]string{
+		filepath.Join("docs", "API.md"): {
+			"/metrics", "X-Request-ID", "request_id",
+			"pops_http_requests_total", "pops_jobs_total",
+			"pops_memo_hits_total", "-log-level", "-log-format",
+		},
+		filepath.Join("docs", "ARCHITECTURE.md"): {
+			"Observability", "internal/obs", "X-Request-ID",
+			"Recorder",
+		},
+		"README.md": {
+			"/metrics", "X-Request-ID", "pops metrics",
+			"scrape_configs", "-log-level",
+		},
+	}
+	for file, wants := range requirements {
+		buf, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(buf)
+		for _, want := range wants {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s no longer documents %q", file, want)
+			}
+		}
+	}
+}
+
 // mdLink matches inline markdown links; the first group is the target.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 

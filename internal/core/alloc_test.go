@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/delay"
 	"repro/internal/gate"
 	"repro/internal/iscas"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sizing"
 	"repro/internal/sta"
 	"repro/internal/tech"
@@ -61,10 +63,10 @@ type steadyRoundFixture struct {
 	round int
 }
 
-func newSteadyRoundFixture(t *testing.T) *steadyRoundFixture {
+func newSteadyRoundFixture(t *testing.T, rec Recorder) *steadyRoundFixture {
 	t.Helper()
 	m := delay.NewModel(tech.CMOS025())
-	p, err := NewProtocol(Config{Model: m})
+	p, err := NewProtocol(Config{Model: m, Recorder: rec})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +136,7 @@ func (f *steadyRoundFixture) step(t *testing.T) {
 // write-back, incremental repair — performs zero heap allocations once
 // the session and workspace are warm.
 func TestOptimizeStepSteadyStateAllocationFree(t *testing.T) {
-	f := newSteadyRoundFixture(t)
+	f := newSteadyRoundFixture(t, nil)
 	// Warm-up: grow every session/workspace buffer to its steady size.
 	for i := 0; i < 3; i++ {
 		f.perturb(t)
@@ -146,6 +148,47 @@ func TestOptimizeStepSteadyStateAllocationFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state round allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// obsRecorder mirrors the engine's metrics recorder: atomic counter
+// increments and histogram observations against internal/obs
+// instruments, installed as a pre-built interface value.
+type obsRecorder struct {
+	rounds *obs.Counter
+	stage  *obs.Histogram
+}
+
+func (r obsRecorder) RoundDone(bool) { r.rounds.Inc() }
+
+func (r obsRecorder) StageDone(_ string, d time.Duration) { r.stage.Observe(d.Seconds()) }
+
+// TestOptimizeStepInstrumentedAllocationFree re-pins the zero-alloc
+// round guarantee with instrumentation enabled: the same steady-state
+// scenario, now reporting every round through an obs-backed Recorder
+// like the batch engine installs. Observability must be free on the
+// hot path.
+func TestOptimizeStepInstrumentedAllocationFree(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obsRecorder{
+		rounds: reg.Counter("rounds_total", "test rounds"),
+		stage:  reg.Histogram("stage_seconds", "test stages", nil),
+	}
+	f := newSteadyRoundFixture(t, rec)
+	for i := 0; i < 3; i++ {
+		f.perturb(t)
+		f.step(t)
+	}
+	before := rec.rounds.Value()
+	allocs := testing.AllocsPerRun(8, func() {
+		f.perturb(t)
+		f.step(t)
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented steady-state round allocated %.1f times per run, want 0", allocs)
+	}
+	if rec.rounds.Value() <= before {
+		t.Fatalf("recorder saw no rounds (before %d, after %d)", before, rec.rounds.Value())
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/buffering"
 	"repro/internal/delay"
@@ -98,11 +99,16 @@ type Config struct {
 	// MaxRounds bounds the optimize-worst-path iterations of the
 	// circuit driver (default 12).
 	MaxRounds int
+	// Recorder receives round and stage events; nil selects a no-op.
+	// Implementations must be concurrency-safe and allocation-free on
+	// the per-round call (see the Recorder doc).
+	Recorder Recorder
 }
 
 // Protocol is a configured instance of the Fig. 7 decision diagram.
 type Protocol struct {
 	cfg Config
+	rec Recorder
 }
 
 // NewProtocol validates the configuration and characterizes the
@@ -124,7 +130,11 @@ func NewProtocol(cfg Config) (*Protocol, error) {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = 12
 	}
-	return &Protocol{cfg: cfg}, nil
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = nopRecorder{}
+	}
+	return &Protocol{cfg: cfg, rec: rec}, nil
 }
 
 // Limits exposes the Flimit table in use.
@@ -481,6 +491,7 @@ func (p *Protocol) optimizeStep(ws *stepWorkspace, sess *sta.Session, tc float64
 			return nil, err
 		}
 	}
+	p.rec.RoundDone(st.Buffers > 0 || st.NorRewrites > 0)
 	return st, nil
 }
 
@@ -540,6 +551,7 @@ func (p *Protocol) OptimizeCircuitContext(ctx context.Context, c *netlist.Circui
 func (p *Protocol) OptimizeSession(ctx context.Context, sess *sta.Session, tc float64) (*CircuitOutcome, error) {
 	ws := &stepWorkspace{}
 	out := &CircuitOutcome{Tc: tc}
+	start := time.Now()
 	for round := 0; round < p.cfg.MaxRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -565,6 +577,7 @@ func (p *Protocol) OptimizeSession(ctx context.Context, sess *sta.Session, tc fl
 			break
 		}
 	}
+	p.rec.StageDone(StageRounds, time.Since(start))
 	if err := p.Summarize(sess, out); err != nil {
 		return nil, err
 	}
@@ -603,10 +616,12 @@ func (p *Protocol) OptimizeWithLeakageSession(ctx context.Context, sess *sta.Ses
 		// leakage pass its own session at that configuration.
 		lsess = sta.NewSession(sess.Circuit(), p.cfg.Model, opts.STA)
 	}
+	start := time.Now()
 	lr, err := leakage.AssignSession(ctx, lsess, tc, opts)
 	if err != nil {
 		return nil, err
 	}
+	p.rec.StageDone(StageLeakage, time.Since(start))
 	out.Leakage = lr
 	out.Delay = lr.Delay
 	out.Feasible = lr.Delay <= tc

@@ -1,0 +1,41 @@
+// Recorder seam: the protocol reports coarse execution events —
+// completed sizing rounds and per-stage wall time — through a small
+// interface that defaults to a no-op. The concurrent engine plugs its
+// metrics in here; library callers pay two static interface calls per
+// round and nothing else, so the zero-allocation round guarantee
+// (TestOptimizeStepSteadyStateAllocationFree) holds with and without
+// instrumentation.
+
+package core
+
+import "time"
+
+// Recorder observes protocol execution. Implementations must be safe
+// for concurrent use (one Protocol serves every worker of the engine)
+// and must not allocate on the round-granular calls — counters and
+// histogram observations, not logging.
+type Recorder interface {
+	// RoundDone reports one executed optimization round (one
+	// OptimizeStep that found work to do). structural is true when the
+	// round mutated the netlist beyond gate sizes (buffer replay or a
+	// De Morgan rewrite).
+	RoundDone(structural bool)
+	// StageDone reports the wall time of one protocol stage on
+	// completion. Stages emitted by this package: "rounds" (the whole
+	// sizing-round loop of a session) and "leakage" (the multi-Vt
+	// assignment pass).
+	StageDone(stage string, d time.Duration)
+}
+
+// StageRounds and StageLeakage name the stages this package reports to
+// its Recorder; the engine adds "parse" and "bounds" at its own layer.
+const (
+	StageRounds  = "rounds"
+	StageLeakage = "leakage"
+)
+
+// nopRecorder is the default Recorder: all events vanish.
+type nopRecorder struct{}
+
+func (nopRecorder) RoundDone(bool)                  {}
+func (nopRecorder) StageDone(string, time.Duration) {}

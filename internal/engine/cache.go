@@ -49,6 +49,11 @@ type Cache struct {
 	// netlists share a name; the alias preserves the cheap name-based
 	// lookup (and every existing cache hit) for suite requests.
 	aliases map[string]string
+
+	// metrics receives hit/miss/eviction events per memo family. The
+	// engine wires its instrument set in at construction; a standalone
+	// cache leaves it nil (every event method is nil-safe).
+	metrics *Metrics
 }
 
 // limitsEntry latches one library characterization (Flimit table rows
@@ -104,9 +109,11 @@ func (ca *Cache) Alias(name string, fp func() (string, error)) (string, error) {
 	ca.mu.Lock()
 	if k, ok := ca.aliases[name]; ok {
 		ca.mu.Unlock()
+		ca.metrics.memoHit(memoAlias)
 		return k, nil
 	}
 	ca.mu.Unlock()
+	ca.metrics.memoMiss(memoAlias)
 	k, err := fp()
 	if err != nil {
 		return "", err
@@ -160,9 +167,15 @@ func (ca *Cache) Bounds(m *delay.Model, pa *delay.Path, opts sizing.Options) (tm
 			// Holders of the evicted entry's pointer still complete
 			// their latch safely; only the map slot is recycled.
 			delete(ca.bounds, oldest)
+			ca.metrics.memoEvict(memoBounds)
 		}
 	}
 	ca.mu.Unlock()
+	if ok {
+		ca.metrics.memoHit(memoBounds)
+	} else {
+		ca.metrics.memoMiss(memoBounds)
+	}
 	e.once.Do(func() {
 		e.tmax = sizing.Tmax(m, pa.Clone())
 		r, err := sizing.Tmin(m, pa.Clone(), opts)
@@ -195,6 +208,7 @@ func (ca *Cache) Result(ctx context.Context, key string, compute func() (*Optimi
 			break // compute it ourselves, mu still held
 		}
 		ca.mu.Unlock()
+		ca.metrics.memoHit(memoResult)
 		select {
 		case <-e.done:
 		case <-ctx.Done():
@@ -213,8 +227,10 @@ func (ca *Cache) Result(ctx context.Context, key string, compute func() (*Optimi
 		oldest := ca.resultOrder[0]
 		ca.resultOrder = ca.resultOrder[1:]
 		delete(ca.results, oldest)
+		ca.metrics.memoEvict(memoResult)
 	}
 	ca.mu.Unlock()
+	ca.metrics.memoMiss(memoResult)
 
 	e.res, e.err = compute()
 	if e.err != nil {

@@ -27,12 +27,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/delay"
 	"repro/internal/iscas"
 	"repro/internal/leakage"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sizing"
 	"repro/internal/sta"
 	"repro/internal/tech"
@@ -67,6 +69,7 @@ type Engine struct {
 	proto   *core.Protocol
 	cache   *Cache
 	slots   chan struct{} // bounded worker-pool semaphore
+	metrics *Metrics      // engine-owned instrument set (never nil)
 }
 
 // New builds an engine. The library is characterized lazily, on the
@@ -82,11 +85,13 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:   cfg,
-		model: delay.NewModel(cfg.Process),
-		cache: NewCache(),
-		slots: make(chan struct{}, cfg.Workers),
+		cfg:     cfg,
+		model:   delay.NewModel(cfg.Process),
+		cache:   NewCache(),
+		slots:   make(chan struct{}, cfg.Workers),
+		metrics: newMetrics(),
 	}
+	e.cache.metrics = e.metrics
 	return e, nil
 }
 
@@ -95,6 +100,16 @@ func (e *Engine) Workers() int { return e.cfg.Workers }
 
 // Model exposes the engine's delay model (read-only).
 func (e *Engine) Model() *delay.Model { return e.model }
+
+// Metrics exposes the engine's instrument set (the HTTP layer's
+// /metrics handler renders its registry).
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// MetricsSnapshot reads every engine instrument as a flat
+// name{labels} → value map: counters and gauges by value, histograms
+// as _count/_sum pairs. The CLI's `pops metrics`, the /healthz
+// metrics block and genbench's BENCH records consume it.
+func (e *Engine) MetricsSnapshot() obs.Snapshot { return e.metrics.reg.Snapshot() }
 
 // protocol returns the shared protocol instance, characterizing the
 // library through the cache on first use.
@@ -110,6 +125,7 @@ func (e *Engine) protocol() (*core.Protocol, error) {
 		Sizing:    e.cfg.Sizing,
 		STA:       e.cfg.STA,
 		MaxRounds: e.cfg.MaxRounds,
+		Recorder:  e.metrics.coreRec,
 	})
 	if err != nil {
 		return nil, err
@@ -131,17 +147,24 @@ func (e *Engine) fanOut(ctx context.Context, n int, task func(i int) error) erro
 			errs[i] = err
 			break
 		}
+		// Queue depth counts tasks blocked on a pool slot; busy workers
+		// counts held slots. Two gauges and atomic adds — cheap enough
+		// to leave on unconditionally.
+		e.metrics.queueDepth.Inc()
 		select {
 		case e.slots <- struct{}{}:
 		case <-ctx.Done():
 			errs[i] = ctx.Err()
 		}
+		e.metrics.queueDepth.Dec()
 		if errs[i] != nil {
 			break
 		}
 		wg.Add(1)
+		e.metrics.busyWorkers.Inc()
 		go func(i int) {
 			defer wg.Done()
+			defer e.metrics.busyWorkers.Dec()
 			defer func() { <-e.slots }()
 			errs[i] = task(i)
 		}(i)
@@ -187,10 +210,12 @@ func (e *Engine) resolveSource(circuit, bench string, parsed *ParsedBench) (*sou
 	if bench != "" {
 		pb := parsed
 		if pb == nil {
+			start := time.Now()
 			var err error
 			if pb, err = ParseBench(bench); err != nil {
 				return nil, err
 			}
+			e.metrics.stageDone(stageParse, start)
 		}
 		return &source{display: pb.Name, key: pb.Key, master: pb.Circuit}, nil
 	}
@@ -316,6 +341,7 @@ func (e *Engine) optimizeTask(ctx context.Context, req OptimizeRequest, src *sou
 
 // computeTask is the uncached task body behind optimizeTask.
 func (e *Engine) computeTask(ctx context.Context, req OptimizeRequest, src *source, instantiate func() *netlist.Circuit, tb *pathBounds) (*OptimizeResult, error) {
+	defer e.metrics.taskComputed(time.Now())
 	proto, err := e.protocol()
 	if err != nil {
 		return nil, err
@@ -330,7 +356,9 @@ func (e *Engine) computeTask(ctx context.Context, req OptimizeRequest, src *sour
 	// extraction, every protocol round, and the leakage pass all share
 	// the same reused per-node buffers.
 	sess := proto.NewTimingSession(c)
+	sess.SetRecorder(e.metrics.staRec)
 	if tb == nil {
+		boundsStart := time.Now()
 		pa, _, err := sess.CriticalPath()
 		if err != nil {
 			return nil, err
@@ -340,6 +368,7 @@ func (e *Engine) computeTask(ctx context.Context, req OptimizeRequest, src *sour
 			return nil, err
 		}
 		tb = &pathBounds{tmin: tmin, tmax: tmax}
+		e.metrics.stageDone(stageBounds, boundsStart)
 	}
 	tc := req.Tc
 	if tc <= 0 {

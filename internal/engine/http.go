@@ -1,7 +1,8 @@
 // HTTP layer: a standard-library JSON service over the engine and the
 // async job store. cmd/popsd mounts it; tests drive it with httptest.
 //
-//	GET  /healthz            liveness + pool stats
+//	GET  /healthz            liveness, build info, pool stats
+//	GET  /metrics            engine instruments, Prometheus text format
 //	POST /v1/optimize        one (circuit, Tc) job
 //	POST /v1/sweep           Tc-grid trade-off curve job
 //	POST /v1/suite           benchmark-suite batch job
@@ -12,6 +13,12 @@
 // POST bodies are JSON. By default a POST enqueues the job and answers
 // 202 Accepted with the job snapshot for polling; {"wait": true} runs
 // it synchronously and answers 200 with the finished job.
+//
+// Every response carries an X-Request-ID — the client's own (when it
+// sent a well-formed one) or a freshly generated ID. The ID rides the
+// request context into submitted jobs, appears in their records, and
+// tags the structured access-log line, so one grep joins a client
+// call to its job and its log output.
 package engine
 
 import (
@@ -20,29 +27,57 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
 	"time"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Server is the popsd HTTP service.
 type Server struct {
-	engine *Engine
-	store  *Store
-	mux    *http.ServeMux
+	engine  *Engine
+	store   *Store
+	mux     *http.ServeMux
+	log     *slog.Logger
+	started time.Time
+}
+
+// ServerOption customizes a Server at construction.
+type ServerOption func(*Server)
+
+// WithLogger installs the structured logger behind the access and job
+// logs. The default discards; popsd passes its slog root here.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
 }
 
 // NewServer wires a service over an engine. Jobs submitted through it
 // run under ctx; cancel it (or Close the returned server's store via
 // Shutdown) to stop background work.
-func NewServer(ctx context.Context, e *Engine) *Server {
+func NewServer(ctx context.Context, e *Engine, opts ...ServerOption) *Server {
 	s := &Server{
-		engine: e,
-		store:  NewStore(ctx),
-		mux:    http.NewServeMux(),
+		engine:  e,
+		store:   NewStore(ctx),
+		mux:     http.NewServeMux(),
+		log:     obs.Discard(),
+		started: time.Now(),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.store.metrics = e.metrics
+	s.store.log = s.log
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/suite", s.handleSuite)
@@ -52,8 +87,56 @@ func NewServer(ctx context.Context, e *Engine) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. It is the observability
+// middleware of the service: it adopts the client's X-Request-ID (or
+// assigns one), threads it through the request context, echoes it on
+// the response, and emits the per-request metrics plus one structured
+// access-log line.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rid := r.Header.Get("X-Request-ID")
+	if !obs.ValidRequestID(rid) {
+		rid = obs.NewRequestID()
+	}
+	r = r.WithContext(obs.WithRequestID(r.Context(), rid))
+	w.Header().Set("X-Request-ID", rid)
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	status := sw.status
+	if status == 0 {
+		// The handler never wrote: the net/http machinery answers 200 on
+		// return.
+		status = http.StatusOK
+	}
+	s.engine.metrics.httpServed(status, start)
+	s.log.Info("request",
+		"method", r.Method, "path", r.URL.Path, "status", status,
+		"bytes", sw.bytes, "duration", time.Since(start), "request_id", rid)
+}
+
+// statusWriter records the status code and body bytes of a response
+// for the access log and the HTTP metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
 
 // Store exposes the job store (graceful shutdown, tests).
 func (s *Server) Store() *Store { return s.store }
@@ -61,15 +144,50 @@ func (s *Server) Store() *Store { return s.store }
 // Shutdown stops accepting results and drains in-flight jobs.
 func (s *Server) Shutdown() { s.store.Close() }
 
+// buildInfo resolves the module version and VCS revision once per
+// process — the binary's build metadata never changes.
+var buildInfo = sync.OnceValues(func() (version, revision string) {
+	version, revision = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			revision = kv.Value
+		}
+	}
+	return
+})
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	version, revision := buildInfo()
 	// Store.Len, not len(Store.List()): a liveness probe must not
 	// snapshot every retained job (results included) per poll.
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"workers": s.engine.Workers(),
-		"process": s.engine.Model().Proc.Name,
-		"jobs":    s.store.Len(),
+		"status":        "ok",
+		"version":       version,
+		"revision":      revision,
+		"goVersion":     runtime.Version(),
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+		"workers":       s.engine.Workers(),
+		"gomaxprocs":    runtime.GOMAXPROCS(0),
+		"process":       s.engine.Model().Proc.Name,
+		"jobs":          s.store.Len(),
 	})
+}
+
+// handleMetrics renders every engine instrument in the Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.engine.metrics.reg.WritePrometheus(w); err != nil {
+		// The status line is already committed; nothing to answer.
+		s.log.Warn("metrics exposition failed", "error", err.Error())
+	}
 }
 
 // resolveBench validates a POST body's circuit reference — exactly one
@@ -123,7 +241,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body.parsed = pb
-	s.dispatch(w, JobOptimize, body.Wait, func(ctx context.Context) (any, error) {
+	label := body.Circuit
+	if pb != nil {
+		label = pb.Name
+	}
+	s.dispatch(w, r, JobOptimize, body.Wait, label, func(ctx context.Context) (any, error) {
 		res, err := s.engine.Optimize(ctx, body.OptimizeRequest)
 		if err != nil {
 			return nil, err
@@ -148,7 +270,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body.parsed = pb
-	s.dispatch(w, JobSweep, body.Wait, func(ctx context.Context) (any, error) {
+	label := body.Circuit
+	if pb != nil {
+		label = pb.Name
+	}
+	s.dispatch(w, r, JobSweep, body.Wait, label, func(ctx context.Context) (any, error) {
 		return s.engine.Sweep(ctx, body.SweepRequest)
 	})
 }
@@ -177,21 +303,29 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 			body.parsed[i] = pb
 		}
 	}
-	s.dispatch(w, JobSuite, body.Wait, func(ctx context.Context) (any, error) {
+	label := fmt.Sprintf("suite(%d entries)", len(body.Benchmarks)+len(body.Benches))
+	s.dispatch(w, r, JobSuite, body.Wait, label, func(ctx context.Context) (any, error) {
 		return s.engine.Suite(ctx, body.SuiteRequest)
 	})
 }
 
-// dispatch submits the job and answers either the finished job (wait)
-// or a 202 snapshot for polling. A store that began shutting down
-// rejects the submission; that is the daemon draining, not a client
-// error, so it answers 503.
-func (s *Server) dispatch(w http.ResponseWriter, kind JobKind, wait bool, run func(ctx context.Context) (any, error)) {
-	j, err := s.store.Submit(kind, run)
+// dispatch submits the job under the request's trace ID and answers
+// either the finished job (wait) or a 202 snapshot for polling.
+// circuit labels the job's subject in the submit log line — a suite
+// benchmark name, an inline netlist's parsed name (fingerprint-derived
+// when anonymous), or an entry count for suites. A store that began
+// shutting down rejects the submission; that is the daemon draining,
+// not a client error, so it answers 503.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind JobKind, wait bool, circuit string, run func(ctx context.Context) (any, error)) {
+	rid := obs.RequestID(r.Context())
+	j, err := s.store.Submit(kind, rid, run)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
+	s.log.Info("job submitted",
+		"job", j.ID, "kind", string(kind), "circuit", circuit,
+		"wait", wait, "request_id", rid)
 	if !wait {
 		writeJSON(w, http.StatusAccepted, j)
 		return

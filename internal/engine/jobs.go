@@ -9,8 +9,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrStoreClosed reports a Submit against a store whose Close has
@@ -50,6 +53,11 @@ type Job struct {
 	Finished time.Time `json:"finished,omitzero"`
 	Result   any       `json:"result,omitempty"`
 	Error    string    `json:"error,omitempty"`
+	// RequestID is the X-Request-ID of the HTTP request that submitted
+	// the job (empty for direct library submissions). It links the
+	// access-log line, the job record, and the task's context — the
+	// trace spine of the service.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Store is an in-memory async job registry. It is safe for concurrent
@@ -66,6 +74,13 @@ type Store struct {
 	base   context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	// metrics receives job-outcome counters (nil drops events) and log
+	// receives one structured line per finished job (never nil; the
+	// zero configuration discards). The Server wires both in; a
+	// standalone store built by tests keeps the silent defaults.
+	metrics *Metrics
+	log     *slog.Logger
 }
 
 // NewStore builds a job store whose jobs run under ctx; cancelling it
@@ -77,11 +92,14 @@ func NewStore(ctx context.Context) *Store {
 		done:   make(map[string]chan struct{}),
 		base:   base,
 		cancel: cancel,
+		log:    obs.Discard(),
 	}
 }
 
 // Submit registers a job and launches it asynchronously. run receives
-// the store's base context and returns the job's result value.
+// the store's base context — carrying requestID when one is given, so
+// the trace ID of the submitting HTTP request follows the work into
+// the engine — and returns the job's result value.
 //
 // After Close has begun, Submit launches nothing: it returns
 // ErrStoreClosed alongside a rejected snapshot (status JobFailed,
@@ -90,25 +108,27 @@ func NewStore(ctx context.Context) *Store {
 // Close either registers before Close's Wait begins or is rejected —
 // the Add-after-Wait misuse cannot occur and no job starts after
 // shutdown.
-func (s *Store) Submit(kind JobKind, run func(ctx context.Context) (any, error)) (Job, error) {
+func (s *Store) Submit(kind JobKind, requestID string, run func(ctx context.Context) (any, error)) (Job, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		now := time.Now().UTC()
 		return Job{
-			Kind:     kind,
-			Status:   JobFailed,
-			Created:  now,
-			Finished: now,
-			Error:    ErrStoreClosed.Error(),
+			Kind:      kind,
+			Status:    JobFailed,
+			Created:   now,
+			Finished:  now,
+			Error:     ErrStoreClosed.Error(),
+			RequestID: requestID,
 		}, ErrStoreClosed
 	}
 	s.seq++
 	j := &Job{
-		ID:      fmt.Sprintf("job-%06d", s.seq),
-		Kind:    kind,
-		Status:  JobPending,
-		Created: time.Now().UTC(),
+		ID:        fmt.Sprintf("job-%06d", s.seq),
+		Kind:      kind,
+		Status:    JobPending,
+		Created:   time.Now().UTC(),
+		RequestID: requestID,
 	}
 	s.jobs[j.ID] = j
 	done := make(chan struct{})
@@ -125,7 +145,12 @@ func (s *Store) Submit(kind JobKind, run func(ctx context.Context) (any, error))
 			j.Status = JobRunning
 			j.Started = time.Now().UTC()
 		})
-		res, err := run(s.base)
+		ctx := s.base
+		if requestID != "" {
+			ctx = obs.WithRequestID(ctx, requestID)
+		}
+		start := time.Now()
+		res, err := run(ctx)
 		s.transition(j.ID, func(j *Job) {
 			j.Finished = time.Now().UTC()
 			if err != nil {
@@ -136,6 +161,16 @@ func (s *Store) Submit(kind JobKind, run func(ctx context.Context) (any, error))
 			j.Status = JobDone
 			j.Result = res
 		})
+		s.metrics.jobFinished(kind, err != nil)
+		if err != nil {
+			s.log.Warn("job failed",
+				"job", j.ID, "kind", string(kind), "request_id", requestID,
+				"duration", time.Since(start), "error", err.Error())
+		} else {
+			s.log.Info("job done",
+				"job", j.ID, "kind", string(kind), "request_id", requestID,
+				"duration", time.Since(start))
+		}
 	}()
 	return snapshot, nil
 }

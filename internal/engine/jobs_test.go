@@ -17,7 +17,7 @@ func TestStoreLen(t *testing.T) {
 		t.Fatalf("empty store Len %d", s.Len())
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := s.Submit(JobOptimize, func(ctx context.Context) (any, error) { return i, nil }); err != nil {
+		if _, err := s.Submit(JobOptimize, "", func(ctx context.Context) (any, error) { return i, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -37,7 +37,7 @@ func TestSubmitAfterClose(t *testing.T) {
 	s := NewStore(context.Background())
 	s.Close()
 	ran := false
-	j, err := s.Submit(JobOptimize, func(ctx context.Context) (any, error) {
+	j, err := s.Submit(JobOptimize, "", func(ctx context.Context) (any, error) {
 		ran = true
 		return nil, nil
 	})
@@ -79,7 +79,7 @@ func TestSubmitCloseRace(t *testing.T) {
 						return
 					default:
 					}
-					j, err := s.Submit(JobOptimize, func(ctx context.Context) (any, error) {
+					j, err := s.Submit(JobOptimize, "", func(ctx context.Context) (any, error) {
 						if closed.Load() != 0 {
 							lateStart.Store(true)
 						}

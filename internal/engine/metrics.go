@@ -1,0 +1,231 @@
+// Engine metrics: every instrument of the service lives here, built on
+// the dependency-free internal/obs substrate. One Metrics value
+// belongs to one Engine; the HTTP layer, the job store, the
+// characterization cache, and the core/sta recorder seams all feed it,
+// and GET /metrics renders its registry in the Prometheus text format.
+//
+// Hot-path discipline: counters, gauges and histogram observations are
+// plain atomics (allocation-free), label values are fixed at
+// registration, and the per-round protocol events arrive through
+// pre-built recorder interface values — so the PR-4 zero-allocation
+// sizing-round guarantee survives with instrumentation enabled
+// (core.TestOptimizeStepSteadyStateAllocationFree runs an obs-backed
+// recorder).
+
+package engine
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sta"
+)
+
+// Memo families instrumented by the cache.
+const (
+	memoResult = "result"
+	memoBounds = "bounds"
+	memoAlias  = "alias"
+)
+
+// Stage names of the per-stage latency histogram. StageRounds and
+// StageLeakage arrive through the core recorder; parse and bounds are
+// timed at the engine layer.
+const (
+	stageParse  = "parse"
+	stageBounds = "bounds"
+)
+
+// Metrics is the engine's instrument set. All fields are safe for
+// concurrent use; a nil *Metrics is valid and drops every event, so
+// standalone Cache/Store values built by tests need no wiring.
+type Metrics struct {
+	reg *obs.Registry
+
+	httpRequests [6]*obs.Counter // by status class, index status/100
+	httpDuration *obs.Histogram
+
+	jobsDone   map[JobKind]*obs.Counter
+	jobsFailed map[JobKind]*obs.Counter
+
+	tasks        *obs.Counter
+	taskDuration *obs.Histogram
+	stage        map[string]*obs.Histogram
+
+	memoHits      map[string]*obs.Counter
+	memoMisses    map[string]*obs.Counter
+	memoEvictions map[string]*obs.Counter
+
+	queueDepth  *obs.Gauge
+	busyWorkers *obs.Gauge
+
+	roundsSizing     *obs.Counter
+	roundsStructural *obs.Counter
+	staFull          *obs.Counter
+	staReused        *obs.Counter
+
+	// Pre-built interface values for the core/sta recorder seams, so
+	// installing them never allocates on a task path.
+	coreRec core.Recorder
+	staRec  sta.Recorder
+}
+
+// newMetrics registers the full engine instrument catalog on a fresh
+// registry.
+func newMetrics() *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		reg:           reg,
+		jobsDone:      make(map[JobKind]*obs.Counter, 3),
+		jobsFailed:    make(map[JobKind]*obs.Counter, 3),
+		stage:         make(map[string]*obs.Histogram, 4),
+		memoHits:      make(map[string]*obs.Counter, 3),
+		memoMisses:    make(map[string]*obs.Counter, 3),
+		memoEvictions: make(map[string]*obs.Counter, 2),
+	}
+	for class := 1; class < len(m.httpRequests); class++ {
+		m.httpRequests[class] = reg.Counter("pops_http_requests_total",
+			"HTTP requests served, by status class.",
+			obs.Label{Name: "code", Value: []string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}[class]})
+	}
+	m.httpDuration = reg.Histogram("pops_http_request_duration_seconds",
+		"Wall time of HTTP requests.", nil)
+	for _, kind := range []JobKind{JobOptimize, JobSweep, JobSuite} {
+		m.jobsDone[kind] = reg.Counter("pops_jobs_total",
+			"Jobs finished, by kind and outcome.",
+			obs.Label{Name: "kind", Value: string(kind)}, obs.Label{Name: "outcome", Value: "done"})
+		m.jobsFailed[kind] = reg.Counter("pops_jobs_total",
+			"Jobs finished, by kind and outcome.",
+			obs.Label{Name: "kind", Value: string(kind)}, obs.Label{Name: "outcome", Value: "failed"})
+	}
+	m.tasks = reg.Counter("pops_tasks_total",
+		"Optimization tasks computed (memo misses that ran the protocol).")
+	m.taskDuration = reg.Histogram("pops_task_duration_seconds",
+		"Wall time of computed (uncached) optimization tasks.", nil)
+	for _, st := range []string{stageParse, stageBounds, core.StageRounds, core.StageLeakage} {
+		m.stage[st] = reg.Histogram("pops_stage_duration_seconds",
+			"Wall time of one pipeline stage of a task.", nil,
+			obs.Label{Name: "stage", Value: st})
+	}
+	for _, fam := range []string{memoResult, memoBounds, memoAlias} {
+		m.memoHits[fam] = reg.Counter("pops_memo_hits_total",
+			"Memo hits, by cache family.", obs.Label{Name: "family", Value: fam})
+		m.memoMisses[fam] = reg.Counter("pops_memo_misses_total",
+			"Memo misses, by cache family.", obs.Label{Name: "family", Value: fam})
+	}
+	for _, fam := range []string{memoResult, memoBounds} {
+		m.memoEvictions[fam] = reg.Counter("pops_memo_evictions_total",
+			"FIFO memo evictions, by cache family.", obs.Label{Name: "family", Value: fam})
+	}
+	m.queueDepth = reg.Gauge("pops_queue_depth",
+		"Tasks waiting for a worker-pool slot.")
+	m.busyWorkers = reg.Gauge("pops_busy_workers",
+		"Worker-pool slots currently executing a task.")
+	m.roundsSizing = reg.Counter("pops_sizing_rounds_total",
+		"Protocol rounds executed, by effect.", obs.Label{Name: "structural", Value: "false"})
+	m.roundsStructural = reg.Counter("pops_sizing_rounds_total",
+		"Protocol rounds executed, by effect.", obs.Label{Name: "structural", Value: "true"})
+	m.staFull = reg.Counter("pops_sta_analyses_total",
+		"Timing-session Analyze calls, by mode.", obs.Label{Name: "mode", Value: "full"})
+	m.staReused = reg.Counter("pops_sta_analyses_total",
+		"Timing-session Analyze calls, by mode.", obs.Label{Name: "mode", Value: "reused"})
+	m.coreRec = protocolRecorder{m}
+	m.staRec = sessionRecorder{m}
+	return m
+}
+
+// Registry exposes the underlying registry (the /metrics handler and
+// tests render it).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// Nil-safe event helpers: standalone caches/stores built by tests have
+// no Metrics, so every feed point goes through a method that tolerates
+// a nil receiver.
+
+func (m *Metrics) memoHit(family string) {
+	if m != nil {
+		m.memoHits[family].Inc()
+	}
+}
+
+func (m *Metrics) memoMiss(family string) {
+	if m != nil {
+		m.memoMisses[family].Inc()
+	}
+}
+
+func (m *Metrics) memoEvict(family string) {
+	if m != nil {
+		m.memoEvictions[family].Inc()
+	}
+}
+
+func (m *Metrics) jobFinished(kind JobKind, failed bool) {
+	if m == nil {
+		return
+	}
+	byKind := m.jobsDone
+	if failed {
+		byKind = m.jobsFailed
+	}
+	if c, ok := byKind[kind]; ok {
+		c.Inc()
+	}
+}
+
+func (m *Metrics) taskComputed(start time.Time) {
+	if m != nil {
+		m.tasks.Inc()
+		m.taskDuration.Observe(time.Since(start).Seconds())
+	}
+}
+
+func (m *Metrics) stageDone(stage string, start time.Time) {
+	if m == nil {
+		return
+	}
+	if h, ok := m.stage[stage]; ok {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+func (m *Metrics) httpServed(status int, start time.Time) {
+	if m == nil {
+		return
+	}
+	class := status / 100
+	if class < 1 || class >= len(m.httpRequests) {
+		class = 5
+	}
+	m.httpRequests[class].Inc()
+	m.httpDuration.Observe(time.Since(start).Seconds())
+}
+
+// protocolRecorder feeds core's round/stage events into the metrics.
+type protocolRecorder struct{ m *Metrics }
+
+func (r protocolRecorder) RoundDone(structural bool) {
+	if structural {
+		r.m.roundsStructural.Inc()
+	} else {
+		r.m.roundsSizing.Inc()
+	}
+}
+
+func (r protocolRecorder) StageDone(stage string, d time.Duration) {
+	if h, ok := r.m.stage[stage]; ok {
+		h.Observe(d.Seconds())
+	}
+}
+
+// sessionRecorder feeds sta session reuse events into the metrics.
+type sessionRecorder struct{ m *Metrics }
+
+func (r sessionRecorder) Analyzed(full bool) {
+	if full {
+		r.m.staFull.Inc()
+	} else {
+		r.m.staReused.Inc()
+	}
+}

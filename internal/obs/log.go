@@ -1,0 +1,45 @@
+// Structured-logging construction: popsd's -log-level/-log-format flag
+// pair resolves to a log/slog logger through NewLogger, and libraries
+// that log optionally default to Discard.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a slog.Logger writing to w at the named level
+// ("debug", "info", "warn", "error") in the named format ("text" or
+// "json"). Unknown names are errors, not silent defaults — a typo'd
+// -log-level must fail startup, not run a daemon at the wrong
+// verbosity.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text|json)", format)
+	}
+}
+
+// Discard is a logger that drops everything — the default for library
+// layers (the engine's HTTP service) until a daemon wires a real one.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }

@@ -1,0 +1,324 @@
+// Package obs is the dependency-free observability substrate of the
+// service: atomic metric instruments (counters, gauges, fixed-bucket
+// histograms) with a Prometheus text-exposition writer, request-ID
+// generation and context propagation, and log/slog construction
+// helpers.
+//
+// The package is deliberately standard-library only — the module bans
+// third-party dependencies — and its hot-path operations are
+// allocation-free: Counter.Inc, Gauge.Set and Histogram.Observe touch
+// nothing but pre-allocated atomics, so instruments can sit inside the
+// engine's zero-alloc sizing rounds (pinned by
+// core.TestOptimizeStepSteadyStateAllocationFree and
+// TestInstrumentsAllocationFree here) without breaking that guarantee.
+// All label values are fixed at registration time; exposition renders
+// them only when /metrics is scraped.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; all methods are safe for concurrent use and
+// allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is ready
+// to use; all methods are safe for concurrent use and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// atomicFloat is a float64 accumulated with compare-and-swap on its
+// bit pattern — the histogram sum needs float addition without a lock.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket latency/size distribution. Buckets are
+// chosen at construction; Observe is a linear scan over the bounds (a
+// dozen entries — cheaper than binary search at this size) plus two
+// atomic adds, with no allocation.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. An implicit +Inf bucket catches everything beyond the last
+// bound.
+func NewHistogram(bounds ...float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// DurationBuckets are the default latency bounds in seconds: half a
+// millisecond through ten seconds, roughly logarithmic — wide enough
+// for both a c17 memo hit and a 500-point sweep of a large netlist.
+func DurationBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.value() }
+
+// Label is one constant name="value" pair attached to an instrument at
+// registration. Values never change after registration, so the hot
+// path carries no label machinery at all.
+type Label struct {
+	Name, Value string
+}
+
+// kind discriminates the instrument held by a registration.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered instrument with its exposition identity.
+type metric struct {
+	name   string
+	help   string
+	kind   kind
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds registered instruments for exposition and snapshots.
+// Registration happens at construction time (engine/server startup);
+// reads happen on every scrape. A Registry is safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	// byName pins (help, kind) per family so two registrations of one
+	// name cannot disagree on type — Prometheus forbids that.
+	byName map[string]kind
+}
+
+// NewRegistry returns an empty metric registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]kind)}
+}
+
+// Counter registers and returns a new counter. Registering the same
+// name with different label sets creates one family with many series;
+// registering it as a different instrument kind panics (a programming
+// error, caught at startup).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, labels: labels, c: c})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, labels: labels, g: g})
+	return g
+}
+
+// Histogram registers and returns a new histogram over bounds (nil
+// selects DurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets()
+	}
+	h := NewHistogram(bounds...)
+	r.register(&metric{name: name, help: help, kind: kindHistogram, labels: labels, h: h})
+	return h
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.byName[m.name]; ok && k != m.kind {
+		panic(fmt.Sprintf("obs: metric %s registered as two different kinds", m.name))
+	}
+	r.byName[m.name] = m.kind
+	r.metrics = append(r.metrics, m)
+}
+
+// labelString renders {k="v",...} (empty string for no labels), with
+// extra appended after the registered labels.
+func labelString(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way the Prometheus text format
+// expects (+Inf for the terminal bucket).
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// WritePrometheus renders every registered instrument in the
+// Prometheus text exposition format, families in registration order,
+// # HELP/# TYPE emitted once per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	seen := make(map[string]bool, len(metrics))
+	for _, m := range metrics {
+		if !seen[m.name] {
+			seen[m.name] = true
+			typ := map[kind]string{kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram"}[m.kind]
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, typ); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, labelString(m.labels), m.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, labelString(m.labels), m.g.Value())
+		case kindHistogram:
+			err = writeHistogram(w, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket
+// rows, then _sum and _count.
+func writeHistogram(w io.Writer, m *metric) error {
+	h := m.h
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		ls := labelString(m.labels, Label{Name: "le", Value: formatFloat(bound)})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, ls, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %v\n", m.name, labelString(m.labels), h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, labelString(m.labels), h.Count())
+	return err
+}
+
+// Snapshot is a flat point-in-time reading of a registry: counter and
+// gauge series map name{labels} to their value; histograms contribute
+// name_count{labels} and name_sum{labels}. The flat map marshals
+// directly into JSON status bodies and BENCH records.
+type Snapshot map[string]float64
+
+// Snapshot reads every registered instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	s := make(Snapshot, len(metrics))
+	for _, m := range metrics {
+		ls := labelString(m.labels)
+		switch m.kind {
+		case kindCounter:
+			s[m.name+ls] = float64(m.c.Value())
+		case kindGauge:
+			s[m.name+ls] = float64(m.g.Value())
+		case kindHistogram:
+			s[m.name+"_count"+ls] = float64(m.h.Count())
+			s[m.name+"_sum"+ls] = m.h.Sum()
+		}
+	}
+	return s
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "test counter")
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		c.Inc()
+		if v := c.Value(); v <= prev {
+			t.Fatalf("counter went from %d to %d", prev, v)
+		} else {
+			prev = v
+		}
+	}
+	c.Add(41)
+	if c.Value() != 141 {
+		t.Fatalf("counter = %d, want 141", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Value())
+	}
+}
+
+// TestHistogramBucketSums pins the accounting identities: the +Inf
+// cumulative bucket equals the observation count, and sum/count match
+// the observed values exactly.
+func TestHistogramBucketSums(t *testing.T) {
+	h := NewHistogram(1, 2, 5)
+	vals := []float64{0.5, 1, 1.5, 2, 3, 7, 100}
+	sum := 0.0
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != uint64(len(vals)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(vals))
+	}
+	if h.Sum() != sum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), sum)
+	}
+	// Per-bucket raw counts: (-inf,1]=2 (0.5, 1), (1,2]=2 (1.5, 2),
+	// (2,5]=1 (3), (5,+inf)=2 (7, 100).
+	want := []uint64{2, 2, 1, 2}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	total := uint64(0)
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket total %d != count %d", total, h.Count())
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram(2, 1)
+}
+
+// TestInstrumentsAllocationFree pins the hot-path contract: counter,
+// gauge and histogram updates perform zero heap allocations, so
+// instruments can sit inside the engine's zero-alloc sizing rounds.
+func TestInstrumentsAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c", Label{"k", "v"})
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", nil)
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Inc()
+		g.Dec()
+		h.Observe(0.0042)
+		h.Observe(123.0)
+	}); allocs != 0 {
+		t.Fatalf("instrument updates allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestWritePrometheus checks the exposition format: HELP/TYPE per
+// family (once, even with several labelled series), counter and gauge
+// sample lines, and the cumulative histogram rows.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	hits := r.Counter("memo_hits_total", "memo hits by family", Label{"family", "result"})
+	bhits := r.Counter("memo_hits_total", "memo hits by family", Label{"family", "bounds"})
+	q := r.Gauge("queue_depth", "tasks waiting")
+	h := r.Histogram("task_seconds", "task duration", []float64{0.1, 1})
+
+	hits.Add(3)
+	bhits.Inc()
+	q.Set(2)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP memo_hits_total memo hits by family\n",
+		"# TYPE memo_hits_total counter\n",
+		`memo_hits_total{family="result"} 3` + "\n",
+		`memo_hits_total{family="bounds"} 1` + "\n",
+		"# TYPE queue_depth gauge\n",
+		"queue_depth 2\n",
+		"# TYPE task_seconds histogram\n",
+		`task_seconds_bucket{le="0.1"} 1` + "\n",
+		`task_seconds_bucket{le="1"} 2` + "\n",
+		`task_seconds_bucket{le="+Inf"} 3` + "\n",
+		"task_seconds_sum 5.55\n",
+		"task_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE memo_hits_total"); n != 1 {
+		t.Errorf("family header emitted %d times, want once", n)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("x", "x")
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(2)
+	r.Gauge("b", "b", Label{"k", "v"}).Set(-1)
+	h := r.Histogram("c_seconds", "c", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	s := r.Snapshot()
+	want := Snapshot{
+		"a_total":         2,
+		`b{k="v"}`:        -1,
+		"c_seconds_count": 2,
+		"c_seconds_sum":   2.5,
+	}
+	for k, v := range want {
+		if s[k] != v {
+			t.Errorf("snapshot[%q] = %v, want %v", k, s[k], v)
+		}
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Fatal("empty context carries a request ID")
+	}
+	ctx = WithRequestID(ctx, "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Fatalf("RequestID = %q, want abc123", got)
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Fatalf("two fresh IDs collided: %s", a)
+	}
+	if len(a) != 16 || !ValidRequestID(a) {
+		t.Fatalf("generated ID %q is not a valid 16-char ID", a)
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	cases := []struct {
+		id string
+		ok bool
+	}{
+		{"abc-123_X.y", true},
+		{"", false},
+		{"has space", false},
+		{"tab\tchar", false},
+		{"new\nline", false},
+		{`quo"te`, false},
+		{`back\slash`, false},
+		{strings.Repeat("a", 128), true},
+		{strings.Repeat("a", 129), false},
+		{"non-ascii-é", false},
+	}
+	for _, c := range cases {
+		if got := ValidRequestID(c.id); got != c.ok {
+			t.Errorf("ValidRequestID(%q) = %v, want %v", c.id, got, c.ok)
+		}
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hello", "k", 1)
+	if out := buf.String(); !strings.Contains(out, `"msg":"hello"`) || !strings.Contains(out, `"k":1`) {
+		t.Fatalf("json log line malformed: %s", out)
+	}
+
+	buf.Reset()
+	log, err = NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped")
+	log.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filter failed: %s", out)
+	}
+
+	for _, bad := range [][2]string{{"verbose", "text"}, {"info", "xml"}} {
+		if _, err := NewLogger(&buf, bad[0], bad[1]); err == nil {
+			t.Errorf("NewLogger(%q, %q) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+// TestFormatFloat pins the +Inf rendering the text format requires.
+func TestFormatFloat(t *testing.T) {
+	if got := formatFloat(math.Inf(1)); got != "+Inf" {
+		t.Fatalf("formatFloat(+inf) = %q", got)
+	}
+	if got := formatFloat(0.25); got != "0.25" {
+		t.Fatalf("formatFloat(0.25) = %q", got)
+	}
+}

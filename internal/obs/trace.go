@@ -1,0 +1,59 @@
+// Request tracing: ID generation, context propagation, and validation
+// of client-supplied IDs. popsd assigns (or adopts) an X-Request-ID
+// per HTTP request; the ID rides the request context into engine tasks
+// and job records, so one ID connects the access log line, the job
+// snapshot, and any task logs it produced.
+
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// ctxKey is the private context-key type of this package.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// NewRequestID returns a fresh 16-hex-character random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	// crypto/rand.Read never fails on supported platforms (it aborts
+	// the program instead), so the error is impossible to act on.
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// maxRequestIDLen caps adopted client-supplied IDs — beyond this the
+// header is treated as garbage and a fresh ID is assigned.
+const maxRequestIDLen = 128
+
+// ValidRequestID reports whether a client-supplied ID is safe to adopt
+// and echo: non-empty, bounded, and printable ASCII without spaces or
+// quotes (so it can ride a header, a JSON field and a log line
+// unescaped).
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}

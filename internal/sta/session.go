@@ -27,12 +27,38 @@ type Session struct {
 	model   *delay.Model
 	cfg     Config
 	res     *Result
+	rec     Recorder
 }
+
+// Recorder observes session-level analysis events; the engine plugs
+// its STA-reuse counters in here. Implementations must be safe for
+// concurrent use (many sessions share one recorder) and allocation-
+// free — Analyzed is called on the round loop's hot path.
+type Recorder interface {
+	// Analyzed reports one Analyze call: full is true when a complete
+	// forward pass ran, false when the cached incremental state was
+	// served (the reuse the session exists for).
+	Analyzed(full bool)
+}
+
+// nopRecorder is the default Recorder: events vanish.
+type nopRecorder struct{}
+
+func (nopRecorder) Analyzed(bool) {}
 
 // NewSession builds a session over a circuit. No analysis runs until
 // the first Analyze call.
 func NewSession(c *netlist.Circuit, m *delay.Model, cfg Config) *Session {
-	return &Session{circuit: c, model: m, cfg: cfg}
+	return &Session{circuit: c, model: m, cfg: cfg, rec: nopRecorder{}}
+}
+
+// SetRecorder installs an analysis-event recorder (nil restores the
+// no-op). The engine calls it right after creating each task session.
+func (s *Session) SetRecorder(r Recorder) {
+	if r == nil {
+		r = nopRecorder{}
+	}
+	s.rec = r
 }
 
 // Circuit returns the circuit under analysis.
@@ -49,6 +75,7 @@ func (s *Session) Config() Config { return s.cfg }
 // re-analysis into the session's reused buffers when it moved.
 func (s *Session) Analyze() (*Result, error) {
 	if s.res != nil && s.res.Fresh() {
+		s.rec.Analyzed(false)
 		return s.res, nil
 	}
 	if s.res == nil {
@@ -57,6 +84,7 @@ func (s *Session) Analyze() (*Result, error) {
 	if err := s.res.analyze(); err != nil {
 		return nil, err
 	}
+	s.rec.Analyzed(true)
 	return s.res, nil
 }
 

@@ -301,3 +301,61 @@ func TestVtClassChangeIsNotStructural(t *testing.T) {
 		t.Fatal("nonsense worst delay")
 	}
 }
+
+// countingRecorder tallies Analyze calls by mode for the recorder-seam
+// tests.
+type countingRecorder struct {
+	full, reused int
+}
+
+func (r *countingRecorder) Analyzed(full bool) {
+	if full {
+		r.full++
+	} else {
+		r.reused++
+	}
+}
+
+// TestSessionRecorderCountsAnalyzeModes pins the recorder seam the
+// engine's STA-reuse metrics hang off: a full forward pass reports
+// full=true, a cached incremental serve reports full=false, and an
+// Invalidate forces the next Analyze back to a full pass.
+func TestSessionRecorderCountsAnalyzeModes(t *testing.T) {
+	m := model()
+	c := chainCircuit(t, 6, 30)
+	s := NewSession(c, m, Config{})
+	rec := &countingRecorder{}
+	s.SetRecorder(rec)
+
+	if _, err := s.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.full != 1 || rec.reused != 0 {
+		t.Fatalf("after first Analyze: full=%d reused=%d, want 1/0", rec.full, rec.reused)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Analyze(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.full != 1 || rec.reused != 3 {
+		t.Fatalf("after cached serves: full=%d reused=%d, want 1/3", rec.full, rec.reused)
+	}
+	s.Invalidate()
+	if _, err := s.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.full != 2 || rec.reused != 3 {
+		t.Fatalf("after Invalidate: full=%d reused=%d, want 2/3", rec.full, rec.reused)
+	}
+
+	// SetRecorder(nil) restores the no-op: further Analyze calls must
+	// not reach the old recorder.
+	s.SetRecorder(nil)
+	if _, err := s.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.full != 2 || rec.reused != 3 {
+		t.Fatalf("nil recorder still recorded: full=%d reused=%d", rec.full, rec.reused)
+	}
+}

@@ -71,6 +71,7 @@ package pops
 import (
 	"context"
 	"io"
+	"log/slog"
 	"os"
 
 	"repro/internal/buffering"
@@ -83,6 +84,7 @@ import (
 	"repro/internal/leakage"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sizing"
 	"repro/internal/spice"
@@ -409,6 +411,12 @@ type (
 	SuiteResult = engine.SuiteResult
 	// EngineServer is the popsd JSON HTTP service over an Engine.
 	EngineServer = engine.Server
+	// ServerOption customizes NewEngineServer.
+	ServerOption = engine.ServerOption
+	// MetricsSnapshot is a flat name{labels} → value reading of every
+	// engine instrument: counters and gauges by value, histograms as
+	// _count/_sum pairs (see Engine.MetricsSnapshot and GET /metrics).
+	MetricsSnapshot = obs.Snapshot
 )
 
 // NewEngine builds a concurrent batch engine. A zero config selects
@@ -417,6 +425,11 @@ func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
 
 // NewEngineServer wires the popsd HTTP service (an http.Handler) over
 // an engine; jobs submitted through it run under ctx.
-func NewEngineServer(ctx context.Context, e *Engine) *EngineServer {
-	return engine.NewServer(ctx, e)
+func NewEngineServer(ctx context.Context, e *Engine, opts ...ServerOption) *EngineServer {
+	return engine.NewServer(ctx, e, opts...)
 }
+
+// WithServerLogger installs the structured logger behind an engine
+// server's access and job logs (default: discard). popsd builds its
+// slog root from -log-level/-log-format and passes it here.
+func WithServerLogger(l *slog.Logger) ServerOption { return engine.WithLogger(l) }
