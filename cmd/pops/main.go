@@ -23,6 +23,11 @@
 // the batch engine's hardened ingestion pass — the same path as
 // POST /v1/optimize {"bench": …} and pops.OptimizeBench, with results
 // byte-identical across all three entry points.
+//
+// optimize and sweep accept -data-dir: a durable result cache shared
+// across invocations (and with a popsd running on the same directory),
+// so repeating a (circuit, Tc) request serves the persisted record
+// instead of recomputing.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro"
@@ -52,11 +58,12 @@ func main() {
 	k := fs.Int("k", 3, "number of worst paths to report (analyze)")
 	points := fs.Int("points", 11, "Tc grid size (sweep)")
 	addr := fs.String("addr", "http://localhost:8080", "base URL of a running popsd (metrics)")
+	dataDir := fs.String("data-dir", "", "durable result cache shared across invocations (optimize, sweep)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
-	if err := run(os.Stdout, cmd, *benchFile, *circuit, *addr, *tc, *ratio, *k, *points); err != nil {
+	if err := run(os.Stdout, cmd, *benchFile, *circuit, *addr, *dataDir, *tc, *ratio, *k, *points); err != nil {
 		fmt.Fprintln(os.Stderr, "pops:", err)
 		os.Exit(1)
 	}
@@ -129,7 +136,29 @@ func printPower(w io.Writer, c *pops.Circuit, proc *pops.Process) error {
 	return nil
 }
 
-func run(w io.Writer, cmd, benchFile, circuit, addr string, tc, ratio float64, k, points int) error {
+// newEngine builds the batch engine behind optimize and sweep, with a
+// durable result tier under dataDir when one is given: a later pops
+// run (or a popsd started on the same directory) serves repeated
+// (circuit, Tc) results from disk instead of recomputing. The returned
+// closer flushes and releases the tier.
+func newEngine(dataDir string) (*pops.Engine, func(), error) {
+	if dataDir == "" {
+		eng, err := pops.NewEngine(pops.EngineConfig{})
+		return eng, func() {}, err
+	}
+	disk, err := pops.OpenDiskStore(filepath.Join(dataDir, "results"), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := pops.NewEngine(pops.EngineConfig{Results: disk})
+	if err != nil {
+		disk.Close()
+		return nil, nil, err
+	}
+	return eng, func() { disk.Close() }, nil
+}
+
+func run(w io.Writer, cmd, benchFile, circuit, addr, dataDir string, tc, ratio float64, k, points int) error {
 	proc := pops.DefaultProcess()
 	model := pops.NewModel(proc)
 
@@ -156,10 +185,11 @@ func run(w io.Writer, cmd, benchFile, circuit, addr string, tc, ratio float64, k
 		if tc == 0 && ratio == 0 {
 			return fmt.Errorf("optimize needs -tc or -ratio")
 		}
-		eng, err := pops.NewEngine(pops.EngineConfig{})
+		eng, closeStore, err := newEngine(dataDir)
 		if err != nil {
 			return err
 		}
+		defer closeStore()
 		res, err := eng.Optimize(context.Background(), pops.OptimizeRequest{
 			Circuit: name, Bench: bench, Tc: tc, Ratio: ratio,
 		})
@@ -183,10 +213,11 @@ func run(w io.Writer, cmd, benchFile, circuit, addr string, tc, ratio float64, k
 		if err != nil {
 			return err
 		}
-		eng, err := pops.NewEngine(pops.EngineConfig{})
+		eng, closeStore, err := newEngine(dataDir)
 		if err != nil {
 			return err
 		}
+		defer closeStore()
 		sw, err := eng.Sweep(context.Background(), pops.SweepRequest{
 			Circuit: name, Bench: bench, Points: points,
 		})

@@ -5,6 +5,7 @@
 //
 //	popsd [-addr :8080] [-workers N] [-max-rounds N] [-pprof-addr addr]
 //	      [-log-level info] [-log-format text]
+//	      [-data-dir dir] [-flush-interval 1s]
 //
 // Endpoints (see internal/engine's HTTP layer):
 //
@@ -31,6 +32,15 @@
 // structured access/job lines on stderr (-log-level debug|info|warn|
 // error, -log-format text|json).
 //
+// Durability: -data-dir names a directory where every finished
+// optimization result is persisted (content-addressed, checksummed,
+// write-behind batched on -flush-interval) and accepted jobs are
+// journaled. A restarted daemon serves previously computed results
+// from disk without recomputing and re-submits journaled jobs that
+// never finished. With -data-dir unset the daemon is memory-only,
+// exactly as before. See the "Durability" section of
+// docs/ARCHITECTURE.md.
+//
 // -pprof-addr opens an additional net/http/pprof debug listener (e.g.
 // "localhost:6060") so a running daemon can be profiled in place; it
 // is off by default and should never be exposed publicly. A bad
@@ -49,22 +59,26 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // options carries the parsed command line into run.
 type options struct {
-	addr      string
-	pprofAddr string
-	workers   int
-	maxRounds int
-	logLevel  string
-	logFormat string
+	addr          string
+	pprofAddr     string
+	workers       int
+	maxRounds     int
+	logLevel      string
+	logFormat     string
+	dataDir       string
+	flushInterval time.Duration
 }
 
 // shutdownTimeout bounds the graceful drain of both listeners and the
@@ -79,6 +93,8 @@ func main() {
 	flag.StringVar(&opts.pprofAddr, "pprof-addr", "", "listen address of the opt-in net/http/pprof debug endpoint (empty: disabled)")
 	flag.StringVar(&opts.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.StringVar(&opts.logFormat, "log-format", "text", "log line encoding: text or json")
+	flag.StringVar(&opts.dataDir, "data-dir", "", "durability directory: persisted results and the job journal (empty: memory-only)")
+	flag.DurationVar(&opts.flushInterval, "flush-interval", time.Second, "write-behind flush cadence of the result store (with -data-dir)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -103,20 +119,104 @@ func pprofMux() *http.ServeMux {
 	return mux
 }
 
+// durability bundles the -data-dir machinery: the on-disk result
+// store behind its write-behind batcher, and the job journal. A nil
+// *durability (no -data-dir) leaves the daemon memory-only.
+type durability struct {
+	disk    *store.Disk
+	batcher *store.Batcher
+	journal *store.Journal
+}
+
+// Close flushes and releases the durable tier. Order matters: the
+// batcher's final flush must land before the disk store closes, and
+// the journal closes first so no terminal record races the teardown.
+func (d *durability) Close() {
+	if d == nil {
+		return
+	}
+	d.journal.Close()
+	d.batcher.Close()
+	d.disk.Close()
+}
+
+// openDurability builds the durable tier under dataDir: persisted
+// results in dataDir/results (batched behind flushInterval) and the
+// job journal at dataDir/jobs.journal. The returned entries are the
+// journal's surviving records, to be folded by Server.Replay once the
+// server exists. Store write failures are counted on the engine's
+// metrics via the late-bound eng pointer — the engine is constructed
+// after the batcher because the batcher is part of its Config.
+func openDurability(dataDir string, flushInterval time.Duration, logger *slog.Logger, eng **engine.Engine) (*durability, []store.JournalEntry, error) {
+	disk, err := store.OpenDisk(filepath.Join(dataDir, "results"), logger)
+	if err != nil {
+		return nil, nil, fmt.Errorf("result store: %w", err)
+	}
+	batcher := store.NewBatcher(disk, store.BatcherOptions{
+		FlushInterval: flushInterval,
+		Logger:        logger,
+		OnError: func(key string, err error) {
+			if e := *eng; e != nil {
+				e.Metrics().StoreErrorHook()(key, err)
+			}
+		},
+	})
+	journal, entries, err := store.OpenJournal(filepath.Join(dataDir, "jobs.journal"), logger)
+	if err != nil {
+		batcher.Close()
+		disk.Close()
+		return nil, nil, fmt.Errorf("job journal: %w", err)
+	}
+	return &durability{disk: disk, batcher: batcher, journal: journal}, entries, nil
+}
+
 // run builds the engine and both listeners, then serves until ctx is
 // cancelled. Listeners are opened synchronously so a bad -addr or
 // -pprof-addr fails startup with a clear error instead of a log line
-// from a doomed goroutine.
+// from a doomed goroutine; likewise an unusable -data-dir.
 func run(ctx context.Context, opts options, logw io.Writer) error {
 	logger, err := obs.NewLogger(logw, opts.logLevel, opts.logFormat)
 	if err != nil {
 		return err
 	}
-	eng, err := engine.New(engine.Config{Workers: opts.workers, MaxRounds: opts.maxRounds})
+
+	cfg := engine.Config{Workers: opts.workers, MaxRounds: opts.maxRounds}
+	var (
+		eng     *engine.Engine
+		dur     *durability
+		entries []store.JournalEntry
+	)
+	if opts.dataDir != "" {
+		dur, entries, err = openDurability(opts.dataDir, opts.flushInterval, logger, &eng)
+		if err != nil {
+			return err
+		}
+		defer dur.Close()
+		cfg.Results = dur.batcher
+		logger.Info("durable store open",
+			"dir", opts.dataDir, "results", dur.disk.Len(), "journal_records", len(entries))
+	}
+
+	eng, err = engine.New(cfg)
 	if err != nil {
 		return err
 	}
-	srv := engine.NewServer(ctx, eng, engine.WithLogger(logger))
+	srvOpts := []engine.ServerOption{engine.WithLogger(logger)}
+	if dur != nil {
+		srvOpts = append(srvOpts, engine.WithJournal(dur.journal))
+	}
+	srv := engine.NewServer(ctx, eng, srvOpts...)
+	if dur != nil {
+		n, err := srv.Replay(entries)
+		if err != nil {
+			// Replay is best-effort durability; a failure to re-submit or
+			// compact must not keep the daemon down.
+			logger.Warn("job replay incomplete", "error", err.Error())
+		}
+		if n > 0 {
+			logger.Info("replayed unfinished jobs", "count", n)
+		}
+	}
 
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {

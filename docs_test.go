@@ -191,6 +191,43 @@ func TestDocsObservabilityCovered(t *testing.T) {
 	}
 }
 
+// TestDocsDurabilityCovered pins the durability surface into the
+// documentation: the HTTP reference must document the persisted-job
+// lifecycle and the store metric families, the architecture page must
+// describe the store/tiering/replay design, and the README must show
+// the -data-dir quickstart.
+func TestDocsDurabilityCovered(t *testing.T) {
+	requirements := map[string][]string{
+		filepath.Join("docs", "API.md"): {
+			"-data-dir", "-flush-interval", "jobs.journal",
+			"re-submit", "pops_store_hits_total",
+			"pops_store_misses_total", "pops_store_writes_total",
+			"pops_store_errors_total",
+		},
+		filepath.Join("docs", "ARCHITECTURE.md"): {
+			"Durability", "internal/store", "PSR1", "CRC-32",
+			"Write-behind", "atomic rename", "journal",
+			"TestStoreEquivalenceGolden", "crash_test",
+		},
+		"README.md": {
+			"-data-dir", "pops_store_hits_total", "journaled",
+			"byte-identically",
+		},
+	}
+	for file, wants := range requirements {
+		buf, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(buf)
+		for _, want := range wants {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s no longer documents %q", file, want)
+			}
+		}
+	}
+}
+
 // mdLink matches inline markdown links; the first group is the target.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 

@@ -12,6 +12,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/leakage"
 	"repro/internal/netlist"
 	"repro/internal/sizing"
+	"repro/internal/store"
 )
 
 // Cache memoizes per-process characterization artifacts. The zero
@@ -54,6 +56,13 @@ type Cache struct {
 	// engine wires its instrument set in at construction; a standalone
 	// cache leaves it nil (every event method is nil-safe).
 	metrics *Metrics
+
+	// tier is the durable result store behind the in-memory result
+	// memo (nil: memory-only, the default). A memo miss probes it
+	// before computing; a computed result is written through to it. The
+	// tier outlives the process, so a restarted daemon serves repeated
+	// tasks without recomputation.
+	tier store.Store
 }
 
 // limitsEntry latches one library characterization (Flimit table rows
@@ -232,6 +241,19 @@ func (ca *Cache) Result(ctx context.Context, key string, compute func() (*Optimi
 	ca.mu.Unlock()
 	ca.metrics.memoMiss(memoResult)
 
+	// Second tier: a memo miss probes the durable store before paying
+	// for a computation. A hit latches into the memory memo exactly like
+	// a computed result, so every waiter on this key is served; a
+	// corrupt or unreadable record counts as a store error and falls
+	// through to computation (the write-through below repairs it).
+	if ca.tier != nil {
+		if res, ok := ca.tierGet(key); ok {
+			e.res = res
+			close(e.done)
+			return e.res, nil
+		}
+	}
+
 	e.res, e.err = compute()
 	if e.err != nil {
 		ca.mu.Lock()
@@ -247,7 +269,49 @@ func (ca *Cache) Result(ctx context.Context, key string, compute func() (*Optimi
 		ca.mu.Unlock()
 	}
 	close(e.done)
+	if ca.tier != nil && e.err == nil {
+		ca.tierPut(key, e.res)
+	}
 	return e.res, e.err
+}
+
+// tierGet probes the durable tier for a memoized task, reporting
+// whether it was served. Every outcome feeds the store counters.
+func (ca *Cache) tierGet(key string) (*OptimizeResult, bool) {
+	data, err := ca.tier.Get(storeKeyFor(key))
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			ca.metrics.storeMiss()
+		} else {
+			ca.metrics.storeError()
+		}
+		return nil, false
+	}
+	res, err := decodeStoredResult(data)
+	if err != nil {
+		// A record that passed the store's checksum but fails the result
+		// schema (format drift across versions): recompute and overwrite.
+		ca.metrics.storeError()
+		return nil, false
+	}
+	ca.metrics.storeHit()
+	return res, true
+}
+
+// tierPut writes a computed result through to the durable tier.
+// Persistence failures never fail the task — the result is already
+// latched in memory — they only count store errors.
+func (ca *Cache) tierPut(key string, res *OptimizeResult) {
+	data, err := encodeStoredResult(res)
+	if err != nil {
+		ca.metrics.storeError()
+		return
+	}
+	if err := ca.tier.Put(storeKeyFor(key), data); err != nil {
+		ca.metrics.storeError()
+		return
+	}
+	ca.metrics.storeWrite()
 }
 
 // resultKey spells out one (process, circuit, request, leakage policy)

@@ -37,6 +37,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sizing"
 	"repro/internal/sta"
+	"repro/internal/store"
 	"repro/internal/tech"
 )
 
@@ -58,6 +59,13 @@ type Config struct {
 	// that set their Leakage flag (power-simulation vectors, promotion
 	// ceiling). It is part of the result-memoization key.
 	Leakage leakage.Options
+	// Results is the durable result store behind the in-memory memo
+	// (nil: memory-only, the default — behavior is then unchanged). A
+	// memo miss probes it before computing; computed results are
+	// written through. The engine never closes it — the caller owns
+	// the store's lifecycle (popsd closes its batcher and disk store
+	// during shutdown, after the job store drains).
+	Results store.Store
 }
 
 // Engine is a concurrent batch optimizer. It is safe for concurrent
@@ -92,6 +100,7 @@ func New(cfg Config) (*Engine, error) {
 		metrics: newMetrics(),
 	}
 	e.cache.metrics = e.metrics
+	e.cache.tier = cfg.Results
 	return e, nil
 }
 

@@ -245,7 +245,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if pb != nil {
 		label = pb.Name
 	}
-	s.dispatch(w, r, JobOptimize, body.Wait, label, func(ctx context.Context) (any, error) {
+	s.dispatch(w, r, JobOptimize, body.Wait, label, body.OptimizeRequest, func(ctx context.Context) (any, error) {
 		res, err := s.engine.Optimize(ctx, body.OptimizeRequest)
 		if err != nil {
 			return nil, err
@@ -274,7 +274,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if pb != nil {
 		label = pb.Name
 	}
-	s.dispatch(w, r, JobSweep, body.Wait, label, func(ctx context.Context) (any, error) {
+	s.dispatch(w, r, JobSweep, body.Wait, label, body.SweepRequest, func(ctx context.Context) (any, error) {
 		return s.engine.Sweep(ctx, body.SweepRequest)
 	})
 }
@@ -304,7 +304,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	label := fmt.Sprintf("suite(%d entries)", len(body.Benchmarks)+len(body.Benches))
-	s.dispatch(w, r, JobSuite, body.Wait, label, func(ctx context.Context) (any, error) {
+	s.dispatch(w, r, JobSuite, body.Wait, label, body.SuiteRequest, func(ctx context.Context) (any, error) {
 		return s.engine.Suite(ctx, body.SuiteRequest)
 	})
 }
@@ -313,12 +313,26 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 // either the finished job (wait) or a 202 snapshot for polling.
 // circuit labels the job's subject in the submit log line — a suite
 // benchmark name, an inline netlist's parsed name (fingerprint-derived
-// when anonymous), or an entry count for suites. A store that began
-// shutting down rejects the submission; that is the daemon draining,
-// not a client error, so it answers 503.
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind JobKind, wait bool, circuit string, run func(ctx context.Context) (any, error)) {
+// when anonymous), or an entry count for suites. req is the validated
+// request value journaled for crash replay (when the server has a
+// journal); it must re-validate and re-run identically when
+// unmarshalled by Server.Replay. A store that began shutting down
+// rejects the submission; that is the daemon draining, not a client
+// error, so it answers 503.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind JobKind, wait bool, circuit string, req any, run func(ctx context.Context) (any, error)) {
 	rid := obs.RequestID(r.Context())
-	j, err := s.store.Submit(kind, rid, run)
+	var payload []byte
+	if s.store.journal != nil {
+		var err error
+		if payload, err = acceptedRecord(kind, rid, req); err != nil {
+			// Requests arrive as JSON, so re-marshalling one cannot fail;
+			// degrade to an unjournaled job rather than rejecting it.
+			s.log.Warn("journal payload encoding failed; job will not be replayable",
+				"kind", string(kind), "request_id", rid, "error", err.Error())
+			payload = nil
+		}
+	}
+	j, err := s.store.submit(kind, rid, payload, run)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, err)
 		return

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // ErrStoreClosed reports a Submit against a store whose Close has
@@ -81,6 +82,13 @@ type Store struct {
 	// standalone store built by tests keeps the silent defaults.
 	metrics *Metrics
 	log     *slog.Logger
+
+	// journal is the durable job log (nil: no durability, the default).
+	// Submissions that carry a replayable payload append an "accepted"
+	// record before their goroutine launches and a terminal record when
+	// they finish; on restart popsd folds the records and re-submits
+	// jobs that never reached a terminal one (Server.Replay).
+	journal *store.Journal
 }
 
 // NewStore builds a job store whose jobs run under ctx; cancelling it
@@ -109,6 +117,17 @@ func NewStore(ctx context.Context) *Store {
 // the Add-after-Wait misuse cannot occur and no job starts after
 // shutdown.
 func (s *Store) Submit(kind JobKind, requestID string, run func(ctx context.Context) (any, error)) (Job, error) {
+	return s.submit(kind, requestID, nil, run)
+}
+
+// submit is Submit plus durability: when the store has a journal and
+// the caller supplies a replayable request payload, an "accepted"
+// record is appended (and synced) before the job's goroutine launches
+// — so a job that was acknowledged is either finished in the journal
+// or re-submitted after a crash — and a terminal record when it
+// finishes. Journal write failures degrade durability, never
+// availability: the job still runs, with one warning logged.
+func (s *Store) submit(kind JobKind, requestID string, payload []byte, run func(ctx context.Context) (any, error)) (Job, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -138,6 +157,15 @@ func (s *Store) Submit(kind JobKind, requestID string, run func(ctx context.Cont
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	journaled := s.journal != nil && payload != nil
+	if journaled {
+		if err := s.journal.Append(j.ID, payload); err != nil {
+			journaled = false
+			s.log.Warn("job journal append failed; job will not be replayed after a crash",
+				"job", j.ID, "error", err.Error())
+		}
+	}
+
 	go func() {
 		defer s.wg.Done()
 		defer close(done)
@@ -161,6 +189,16 @@ func (s *Store) Submit(kind JobKind, requestID string, run func(ctx context.Cont
 			j.Status = JobDone
 			j.Result = res
 		})
+		if journaled {
+			terminal := journalDone
+			if err != nil {
+				terminal = journalFailed
+			}
+			if jerr := s.journal.Append(j.ID, []byte(terminal)); jerr != nil {
+				s.log.Warn("job journal terminal append failed; job may be replayed after a restart",
+					"job", j.ID, "error", jerr.Error())
+			}
+		}
 		s.metrics.jobFinished(kind, err != nil)
 		if err != nil {
 			s.log.Warn("job failed",

@@ -60,6 +60,11 @@ type Metrics struct {
 	queueDepth  *obs.Gauge
 	busyWorkers *obs.Gauge
 
+	storeHits   *obs.Counter
+	storeMisses *obs.Counter
+	storeWrites *obs.Counter
+	storeErrors *obs.Counter
+
 	roundsSizing     *obs.Counter
 	roundsStructural *obs.Counter
 	staFull          *obs.Counter
@@ -118,6 +123,14 @@ func newMetrics() *Metrics {
 		m.memoEvictions[fam] = reg.Counter("pops_memo_evictions_total",
 			"FIFO memo evictions, by cache family.", obs.Label{Name: "family", Value: fam})
 	}
+	m.storeHits = reg.Counter("pops_store_hits_total",
+		"Result-store hits: memoized tasks served from the durable tier.")
+	m.storeMisses = reg.Counter("pops_store_misses_total",
+		"Result-store misses: memo misses absent from the durable tier.")
+	m.storeWrites = reg.Counter("pops_store_writes_total",
+		"Computed results written through to the durable tier.")
+	m.storeErrors = reg.Counter("pops_store_errors_total",
+		"Result-store failures: corrupt records, write errors, unmarshalable results.")
 	m.queueDepth = reg.Gauge("pops_queue_depth",
 		"Tasks waiting for a worker-pool slot.")
 	m.busyWorkers = reg.Gauge("pops_busy_workers",
@@ -159,6 +172,39 @@ func (m *Metrics) memoEvict(family string) {
 	if m != nil {
 		m.memoEvictions[family].Inc()
 	}
+}
+
+func (m *Metrics) storeHit() {
+	if m != nil {
+		m.storeHits.Inc()
+	}
+}
+
+func (m *Metrics) storeMiss() {
+	if m != nil {
+		m.storeMisses.Inc()
+	}
+}
+
+func (m *Metrics) storeWrite() {
+	if m != nil {
+		m.storeWrites.Inc()
+	}
+}
+
+// storeError is also the batcher's OnError hook target (popsd wires it
+// through Metrics.StoreErrorHook), so asynchronous flush failures are
+// visible on /metrics alongside synchronous ones.
+func (m *Metrics) storeError() {
+	if m != nil {
+		m.storeErrors.Inc()
+	}
+}
+
+// StoreErrorHook adapts the store-error counter to the batcher's
+// OnError callback signature.
+func (m *Metrics) StoreErrorHook() func(key string, err error) {
+	return func(string, error) { m.storeError() }
 }
 
 func (m *Metrics) jobFinished(kind JobKind, failed bool) {

@@ -82,6 +82,10 @@ func TestMetricsEndpointExposition(t *testing.T) {
 		"pops_busy_workers":                  "gauge",
 		"pops_sizing_rounds_total":           "counter",
 		"pops_sta_analyses_total":            "counter",
+		"pops_store_hits_total":              "counter",
+		"pops_store_misses_total":            "counter",
+		"pops_store_writes_total":            "counter",
+		"pops_store_errors_total":            "counter",
 	}
 	for name, kind := range want {
 		if got, ok := families[name]; !ok {

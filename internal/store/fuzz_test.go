@@ -1,0 +1,47 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzStoreRecord fuzzes the decode contract: for arbitrary input
+// bytes, DecodeRecord either succeeds and round-trips canonically
+// (re-encoding the decoded pair reproduces the input exactly) or
+// returns a *CorruptError — never a panic, never an untyped error,
+// never a success whose re-encoding differs.
+func FuzzStoreRecord(f *testing.F) {
+	seed, err := EncodeRecord("job-000001", []byte(`{"event":"accepted"}`))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte(recordMagic))
+	f.Add(seed[:len(seed)-1])
+	f.Add(append(append([]byte(nil), seed...), 0x00))
+	flipped := append([]byte(nil), seed...)
+	flipped[recordHeaderLen] ^= 0x01
+	f.Add(flipped)
+	f.Add(make([]byte, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, value, err := DecodeRecord(data)
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("DecodeRecord error = %v (%T), want *CorruptError", err, err)
+			}
+			return
+		}
+		again, err := EncodeRecord(key, value)
+		if err != nil {
+			t.Fatalf("decoded (%q, %d bytes) but re-encode failed: %v", key, len(value), err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("non-canonical encoding accepted: %x decodes to (%q, %x) which re-encodes to %x",
+				data, key, value, again)
+		}
+	})
+}

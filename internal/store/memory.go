@@ -1,0 +1,102 @@
+// The in-memory backend: current engine behavior (results live and die
+// with the process), used directly by tests and as the default when no
+// data directory is configured.
+
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// Memory is a map-backed Store. The zero value is not usable; call
+// NewMemory.
+type Memory struct {
+	mu     sync.RWMutex
+	m      map[string][]byte
+	closed bool
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{m: make(map[string][]byte)}
+}
+
+// Get implements Store.
+func (s *Memory) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	v, ok := s.m[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Put implements Store.
+func (s *Memory) Put(key string, value []byte) error {
+	if !ValidKey(key) {
+		return &BadKeyError{Key: key}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.m[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// Delete implements Store.
+func (s *Memory) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	delete(s.m, key)
+	return nil
+}
+
+// Scan implements Store, visiting records in sorted key order.
+func (s *Memory) Scan(fn func(key string, value []byte) error) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	values := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		values[k] = append([]byte(nil), s.m[k]...)
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := fn(k, values[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len reports the number of stored records.
+func (s *Memory) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Close implements Store.
+func (s *Memory) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

@@ -1,0 +1,159 @@
+// The on-disk record codec shared by the disk backend (one record per
+// file) and the job journal (a stream of records): a fixed magic,
+// little-endian length prefixes for key and value, the payload bytes,
+// and a trailing CRC-32 over everything before it. The encoding is
+// canonical — DecodeRecord succeeds only on byte sequences that
+// EncodeRecord would itself produce — so the fuzz contract is
+// round-trip-or-typed-error with no third possibility.
+
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record layout constants.
+const (
+	// recordMagic starts every record; a file without it was never a
+	// record (or lost its head to truncation).
+	recordMagic = "PSR1"
+	// recordHeaderLen is magic + keyLen + valueLen.
+	recordHeaderLen = 4 + 4 + 4
+	// recordTrailerLen is the CRC-32 checksum.
+	recordTrailerLen = 4
+	// MaxValueLen bounds a record's value (64 MiB — far above any
+	// optimization result, and a hard stop against a corrupt length
+	// prefix demanding gigabytes).
+	MaxValueLen = 64 << 20
+)
+
+// CorruptError reports a byte sequence that is not a valid record:
+// truncated, bit-flipped, mis-sized or trailing-garbage data. The
+// disk backend and the journal skip such records with a logged error
+// instead of failing startup.
+type CorruptError struct {
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return "store: corrupt record: " + e.Reason
+}
+
+func corruptf(format string, args ...any) error {
+	return &CorruptError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// recordLen returns the full encoded size of a (key, value) record.
+func recordLen(keyLen, valueLen int) int {
+	return recordHeaderLen + keyLen + valueLen + recordTrailerLen
+}
+
+// EncodeRecord renders one record in the canonical encoding. It
+// rejects keys outside the store grammar and oversized values — the
+// only inputs that could produce a record DecodeRecord would refuse.
+func EncodeRecord(key string, value []byte) ([]byte, error) {
+	if !ValidKey(key) {
+		return nil, &BadKeyError{Key: key}
+	}
+	if len(value) > MaxValueLen {
+		return nil, fmt.Errorf("store: value of %d bytes exceeds the %d-byte record limit", len(value), MaxValueLen)
+	}
+	buf := make([]byte, 0, recordLen(len(key), len(value)))
+	buf = append(buf, recordMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(value)))
+	buf = append(buf, key...)
+	buf = append(buf, value...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// DecodeRecord parses exactly one record occupying the whole buffer.
+// Trailing bytes after the record are corruption, like every other
+// deviation from the canonical encoding: the error is always a
+// *CorruptError, so callers distinguish "bad record" from I/O errors
+// by type.
+func DecodeRecord(data []byte) (key string, value []byte, err error) {
+	if len(data) < recordHeaderLen+recordTrailerLen {
+		return "", nil, corruptf("%d bytes is shorter than an empty record", len(data))
+	}
+	key, value, n, err := decodeOne(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if n != len(data) {
+		return "", nil, corruptf("%d trailing bytes after the record", len(data)-n)
+	}
+	return key, value, nil
+}
+
+// decodeOne parses one record at the head of data, returning its
+// consumed length. All failures are *CorruptError.
+func decodeOne(data []byte) (key string, value []byte, n int, err error) {
+	if len(data) < recordHeaderLen {
+		return "", nil, 0, corruptf("truncated header (%d bytes)", len(data))
+	}
+	if string(data[:4]) != recordMagic {
+		return "", nil, 0, corruptf("bad magic %q", data[:4])
+	}
+	keyLen := int(binary.LittleEndian.Uint32(data[4:8]))
+	valueLen := int(binary.LittleEndian.Uint32(data[8:12]))
+	if keyLen > MaxKeyLen {
+		return "", nil, 0, corruptf("key length %d exceeds %d", keyLen, MaxKeyLen)
+	}
+	if valueLen > MaxValueLen {
+		return "", nil, 0, corruptf("value length %d exceeds %d", valueLen, MaxValueLen)
+	}
+	n = recordLen(keyLen, valueLen)
+	if len(data) < n {
+		return "", nil, 0, corruptf("truncated record (%d of %d bytes)", len(data), n)
+	}
+	body := data[:n-recordTrailerLen]
+	want := binary.LittleEndian.Uint32(data[n-recordTrailerLen : n])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return "", nil, 0, corruptf("checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	key = string(data[recordHeaderLen : recordHeaderLen+keyLen])
+	if !ValidKey(key) {
+		return "", nil, 0, corruptf("invalid key %q", key)
+	}
+	value = append([]byte(nil), data[recordHeaderLen+keyLen:n-recordTrailerLen]...)
+	return key, value, n, nil
+}
+
+// ReadRecord parses the next record from a stream. A clean end of
+// stream returns io.EOF; a partial or invalid record returns a
+// *CorruptError (the journal truncates there and logs the loss).
+func ReadRecord(r io.Reader) (key string, value []byte, err error) {
+	header := make([]byte, recordHeaderLen)
+	if _, err := io.ReadFull(r, header); err != nil {
+		if err == io.EOF {
+			return "", nil, io.EOF
+		}
+		return "", nil, corruptf("truncated header: %v", err)
+	}
+	if string(header[:4]) != recordMagic {
+		return "", nil, corruptf("bad magic %q", header[:4])
+	}
+	keyLen := int(binary.LittleEndian.Uint32(header[4:8]))
+	valueLen := int(binary.LittleEndian.Uint32(header[8:12]))
+	if keyLen > MaxKeyLen {
+		return "", nil, corruptf("key length %d exceeds %d", keyLen, MaxKeyLen)
+	}
+	if valueLen > MaxValueLen {
+		return "", nil, corruptf("value length %d exceeds %d", valueLen, MaxValueLen)
+	}
+	rest := make([]byte, keyLen+valueLen+recordTrailerLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return "", nil, corruptf("truncated record body: %v", err)
+	}
+	buf := append(header, rest...)
+	key, value, _, derr := decodeOne(buf)
+	if derr != nil {
+		return "", nil, derr
+	}
+	return key, value, nil
+}

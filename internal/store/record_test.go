@@ -1,0 +1,178 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestValidKey(t *testing.T) {
+	valid := []string{
+		"a", "A", "0", "job-000001",
+		"deadbeefDEADBEEF0123456789abcdef" + strings.Repeat("0", 32), // 64 hex chars
+		"with.dots_and-dashes", strings.Repeat("k", MaxKeyLen),
+	}
+	for _, k := range valid {
+		if !ValidKey(k) {
+			t.Errorf("ValidKey(%q) = false, want true", k)
+		}
+	}
+	invalid := []string{
+		"", ".hidden", ".tmp-x", "has space", "slash/inside", "back\\slash",
+		"nul\x00byte", "Ünïcode", strings.Repeat("k", MaxKeyLen+1),
+	}
+	for _, k := range invalid {
+		if ValidKey(k) {
+			t.Errorf("ValidKey(%q) = true, want false", k)
+		}
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	cases := []struct {
+		key   string
+		value []byte
+	}{
+		{"k", nil},
+		{"k", []byte{}},
+		{"job-000001", []byte(`{"event":"accepted"}`)},
+		{strings.Repeat("f", 64), bytes.Repeat([]byte{0xa5}, 4096)},
+		{"binary", []byte{0, 1, 2, 0xff, 0xfe, '\n', 'P', 'S', 'R', '1'}},
+	}
+	for _, c := range cases {
+		rec, err := EncodeRecord(c.key, c.value)
+		if err != nil {
+			t.Fatalf("EncodeRecord(%q): %v", c.key, err)
+		}
+		key, value, err := DecodeRecord(rec)
+		if err != nil {
+			t.Fatalf("DecodeRecord(%q): %v", c.key, err)
+		}
+		if key != c.key || !bytes.Equal(value, c.value) {
+			t.Fatalf("round trip of %q: got (%q, %x), want (%q, %x)", c.key, key, value, c.key, c.value)
+		}
+		// Canonical: re-encoding the decode must reproduce the bytes.
+		again, err := EncodeRecord(key, value)
+		if err != nil {
+			t.Fatalf("re-encode of %q: %v", c.key, err)
+		}
+		if !bytes.Equal(again, rec) {
+			t.Fatalf("encoding of %q is not canonical", c.key)
+		}
+	}
+}
+
+func TestEncodeRecordRejectsBadInput(t *testing.T) {
+	if _, err := EncodeRecord(".bad", nil); err == nil {
+		t.Fatal("EncodeRecord accepted an invalid key")
+	}
+	var bk *BadKeyError
+	if _, err := EncodeRecord("", nil); !errors.As(err, &bk) {
+		t.Fatalf("EncodeRecord(\"\") error = %v, want *BadKeyError", err)
+	}
+}
+
+// TestDecodeRecordCorruptionTable drives DecodeRecord through every
+// corruption class the disk backend must survive: each mutation of a
+// valid record yields a *CorruptError, never a panic, a wrong-value
+// success, or an untyped error.
+func TestDecodeRecordCorruptionTable(t *testing.T) {
+	base, err := EncodeRecord("job-000001", []byte(`{"event":"accepted","kind":"suite"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"zero length", func(b []byte) []byte { return nil }},
+		{"one byte", func(b []byte) []byte { return []byte{'P'} }},
+		{"truncated header", func(b []byte) []byte { return b[:recordHeaderLen-1] }},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-recordTrailerLen-3] }},
+		{"truncated checksum", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"bit flip in key", func(b []byte) []byte { b[recordHeaderLen] ^= 0x01; return b }},
+		{"bit flip in value", func(b []byte) []byte { b[recordHeaderLen+12] ^= 0x80; return b }},
+		{"bit flip in checksum", func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xde, 0xad) }},
+		{"second record appended", func(b []byte) []byte { return append(b, b...) }},
+		{"oversize value length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], MaxValueLen+1)
+			return b
+		}},
+		{"oversize key length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], MaxKeyLen+1)
+			return b
+		}},
+		{"all zeros", func(b []byte) []byte { return make([]byte, len(b)) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mutated := c.mutate(append([]byte(nil), base...))
+			_, _, err := DecodeRecord(mutated)
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("DecodeRecord(%s) error = %v, want *CorruptError", c.name, err)
+			}
+		})
+	}
+}
+
+func TestReadRecordStream(t *testing.T) {
+	var buf bytes.Buffer
+	want := []struct {
+		key   string
+		value string
+	}{
+		{"job-000001", "accepted"},
+		{"job-000001", "done"},
+		{"job-000002", "accepted"},
+	}
+	for _, w := range want {
+		rec, err := EncodeRecord(w.key, []byte(w.value))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(rec)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, w := range want {
+		key, value, err := ReadRecord(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if key != w.key || string(value) != w.value {
+			t.Fatalf("record %d: got (%q, %q), want (%q, %q)", i, key, value, w.key, w.value)
+		}
+	}
+	if _, _, err := ReadRecord(r); err != io.EOF {
+		t.Fatalf("end of stream error = %v, want io.EOF", err)
+	}
+
+	// A partial final record is a *CorruptError, not EOF: the journal
+	// truncates there.
+	trunc := buf.Bytes()[:buf.Len()-5]
+	r = bytes.NewReader(trunc)
+	for i := 0; i < 2; i++ {
+		if _, _, err := ReadRecord(r); err != nil {
+			t.Fatalf("good record %d: %v", i, err)
+		}
+	}
+	_, _, err := ReadRecord(r)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("partial tail error = %v, want *CorruptError", err)
+	}
+}
+
+// TestBadKeyError pins the typed rejection's message: it must name the
+// offending key so a log line identifies the caller's mistake.
+func TestBadKeyError(t *testing.T) {
+	err := &BadKeyError{Key: "no|pipes"}
+	if !strings.Contains(err.Error(), `"no|pipes"`) {
+		t.Errorf("BadKeyError message %q does not name the key", err.Error())
+	}
+}

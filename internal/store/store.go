@@ -1,0 +1,84 @@
+// Package store is the durable content-addressed result tier of the
+// service: a small key/value contract (Get/Put/Delete/Scan) over
+// fingerprint-derived keys, with two backends — an in-memory map (the
+// default, used by tests and stores nothing across restarts) and an
+// append-friendly on-disk store (one checksummed record file per key,
+// written via atomic rename, corrupt records skipped with a logged
+// error on open). A write-behind Batcher coalesces Puts and flushes
+// them on size, interval and Close, so the engine's hot path never
+// waits on the filesystem; a Journal provides the append-only job log
+// popsd replays on restart.
+//
+// Keys are content addresses: the engine derives them by hashing its
+// (process, circuit fingerprint, constraint, policy) memo key, so a
+// persisted record is a reproducible artifact of the optimization
+// protocol — two daemons given the same netlist and constraint write
+// the same record under the same key, which is what later makes
+// replicas shardable by fingerprint with no coordination.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed error values of the store contract.
+var (
+	// ErrNotFound reports a Get/Scan miss: no record under the key.
+	ErrNotFound = errors.New("store: key not found")
+	// ErrClosed reports an operation against a closed store or batcher
+	// (mirroring the engine job store's post-Close Submit contract).
+	ErrClosed = errors.New("store: closed")
+)
+
+// BadKeyError reports a key outside the store's key grammar.
+type BadKeyError struct {
+	Key string
+}
+
+func (e *BadKeyError) Error() string {
+	return fmt.Sprintf("store: invalid key %q", e.Key)
+}
+
+// MaxKeyLen bounds key length. Keys are fingerprint-derived (64 hex
+// characters in practice); the bound keeps records and filenames sane.
+const MaxKeyLen = 128
+
+// ValidKey reports whether key fits the store grammar: 1..MaxKeyLen
+// characters of [A-Za-z0-9._-], not starting with a dot (keys double
+// as filenames of the disk backend; a leading dot would collide with
+// its temp-file namespace and hidden files).
+func ValidKey(key string) bool {
+	if len(key) == 0 || len(key) > MaxKeyLen || key[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Store is the durable result tier contract. Implementations are safe
+// for concurrent use. Values passed to Put and returned by Get are
+// caller-owned copies — mutating them never corrupts the store.
+type Store interface {
+	// Get returns the value under key, ErrNotFound when absent, or a
+	// *CorruptError when the stored record fails verification.
+	Get(key string) ([]byte, error)
+	// Put stores value under key, replacing any previous value.
+	Put(key string, value []byte) error
+	// Delete removes key; deleting an absent key is a no-op.
+	Delete(key string) error
+	// Scan visits every stored record in unspecified but deterministic
+	// (sorted-key) order; a non-nil return from fn stops the scan and
+	// is returned.
+	Scan(fn func(key string, value []byte) error) error
+	// Close releases the store. Operations after Close return ErrClosed.
+	Close() error
+}

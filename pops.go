@@ -33,6 +33,8 @@
 //	calib       model calibration against the transistor simulator
 //	wire        fan-out wire-load model and uncertainty sweeps (§2)
 //	le          classic logical effort (ref. [4]) baseline
+//	store       durable content-addressed record store: checksummed
+//	            on-disk records, write-behind batching, job journal
 //	engine      concurrent batch engine, async job store, HTTP service
 //
 // Quick start:
@@ -89,6 +91,7 @@ import (
 	"repro/internal/sizing"
 	"repro/internal/spice"
 	"repro/internal/sta"
+	"repro/internal/store"
 	"repro/internal/tech"
 	"repro/internal/wire"
 )
@@ -420,8 +423,87 @@ type (
 )
 
 // NewEngine builds a concurrent batch engine. A zero config selects
-// GOMAXPROCS workers on the default process corner.
+// GOMAXPROCS workers on the default process corner. Set
+// EngineConfig.Results to a ResultStore to add a durable tier behind
+// the in-memory result memo (see the durability types below).
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// Durable result-store types, re-exported from internal/store. The
+// store is the optional second tier behind the engine's in-memory
+// result memo (EngineConfig.Results) and the substrate of popsd's
+// -data-dir crash durability; see the "Durability" section of
+// docs/ARCHITECTURE.md.
+type (
+	// ResultStore is the pluggable durable key/value tier: Get, Put,
+	// Delete, Scan and Close over checksummed records addressed by
+	// fingerprint-derived keys.
+	ResultStore = store.Store
+	// MemoryStore is the in-process ResultStore backend (tests,
+	// ephemeral tiers).
+	MemoryStore = store.Memory
+	// DiskStore is the on-disk ResultStore backend: one checksummed
+	// record file per key, written by atomic rename, corrupt records
+	// skipped with a logged warning on open.
+	DiskStore = store.Disk
+	// StoreBatcher is the asynchronous write-behind front of a
+	// ResultStore: Puts coalesce per key and flush on size, interval
+	// and Close.
+	StoreBatcher = store.Batcher
+	// StoreBatcherOptions tunes NewStoreBatcher.
+	StoreBatcherOptions = store.BatcherOptions
+	// StoreCorruptError is the typed verdict on a damaged record: the
+	// bytes are unreadable, as opposed to absent (ErrResultNotFound).
+	StoreCorruptError = store.CorruptError
+	// JobJournal is the append-only, fsync-per-record job log popsd
+	// replays after a crash.
+	JobJournal = store.Journal
+	// JournalEntry is one surviving record of a reopened JobJournal.
+	JournalEntry = store.JournalEntry
+)
+
+// Result-store sentinel errors, re-exported.
+var (
+	// ErrResultNotFound reports a Get for an absent key.
+	ErrResultNotFound = store.ErrNotFound
+	// ErrResultStoreClosed reports an operation on a closed store or
+	// batcher.
+	ErrResultStoreClosed = store.ErrClosed
+)
+
+// NewMemoryStore builds the in-process ResultStore backend.
+func NewMemoryStore() *MemoryStore { return store.NewMemory() }
+
+// OpenDiskStore opens (creating if needed) the on-disk ResultStore
+// backend under dir. Records that fail their checksum are skipped with
+// a warning on log — one damaged record never poisons the store. A nil
+// log discards.
+func OpenDiskStore(dir string, log *slog.Logger) (*DiskStore, error) {
+	return store.OpenDisk(dir, log)
+}
+
+// NewStoreBatcher wraps a ResultStore with asynchronous write-behind
+// batching: Puts coalesce in memory and flush when the pending set
+// grows past StoreBatcherOptions.MaxPending, every FlushInterval, and
+// on Close. Reads see pending writes immediately. Closing the batcher
+// flushes but does not close the underlying store.
+func NewStoreBatcher(under ResultStore, opts StoreBatcherOptions) *StoreBatcher {
+	return store.NewBatcher(under, opts)
+}
+
+// OpenJobJournal opens (creating if needed) an append-only job journal
+// at path and returns the surviving entries of a previous run — a
+// corrupt tail is truncated with a warning on log, never an error.
+// Pass the journal to WithServerJournal and the entries to
+// EngineServer.Replay to restore crashed jobs.
+func OpenJobJournal(path string, log *slog.Logger) (*JobJournal, []JournalEntry, error) {
+	return store.OpenJournal(path, log)
+}
+
+// WithServerJournal installs a job journal on an engine server:
+// accepted jobs are journaled before they run and marked terminal when
+// they finish, so EngineServer.Replay can re-submit work lost to a
+// crash. popsd wires this behind -data-dir.
+func WithServerJournal(j *JobJournal) ServerOption { return engine.WithJournal(j) }
 
 // NewEngineServer wires the popsd HTTP service (an http.Handler) over
 // an engine; jobs submitted through it run under ctx.
