@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,12 @@ import (
 
 	"repro"
 )
+
+// errVet marks a capture aborted because `go vet` rejected the target
+// package. main maps it to exit code 3, so bench harnesses can tell a
+// lint failure (fix the code, the baseline is meaningless) apart from
+// a benchmark failure (exit 1) without parsing stderr.
+var errVet = errors.New("go vet failed")
 
 // BenchRecord is the top-level shape of a BENCH_*.json file.
 type BenchRecord struct {
@@ -74,6 +81,17 @@ func runBenchCapture(args []string) error {
 	}
 	if *out == "" || *pattern == "" {
 		return fmt.Errorf("both -out and -pattern are required")
+	}
+
+	// Vet gate: a baseline captured from a tree that fails vet measures
+	// code that will not survive review, so fail fast — and distinctly —
+	// before burning benchmark time.
+	vet := exec.Command("go", "vet", *pkg)
+	vet.Stdout = os.Stderr
+	vet.Stderr = os.Stderr
+	fmt.Fprintln(os.Stderr, "genbench bench: running go vet", *pkg)
+	if err := vet.Run(); err != nil {
+		return fmt.Errorf("%w on %s: fix or suppress findings before capturing a baseline", errVet, *pkg)
 	}
 
 	cmdArgs := []string{"test", *pkg,

@@ -15,9 +15,15 @@
 // parses every result line (ns/op, B/op, allocs/op and custom metrics)
 // plus the host header, and writes the JSON record whose exact command
 // line is embedded in the file for reproduction.
+//
+// The bench subcommand runs `go vet` on the target package before
+// benchmarking and exits with code 3 on findings — distinct from the
+// generic exit 1 — so bench harnesses fail fast on lint errors instead
+// of recording a baseline from a tree that will not survive review.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +38,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		if err := runBenchCapture(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "genbench bench:", err)
+			if errors.Is(err, errVet) {
+				os.Exit(3)
+			}
 			os.Exit(1)
 		}
 		return

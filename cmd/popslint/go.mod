@@ -1,0 +1,3 @@
+module popslint
+
+go 1.24

@@ -1,0 +1,207 @@
+// Package analysis is a dependency-free subset of the
+// golang.org/x/tools/go/analysis API: just enough structure — Analyzer,
+// Pass, Diagnostic — for popslint's project-specific checkers to be
+// written in the standard shape, so they can be ported onto the real
+// framework mechanically if the x/tools dependency ever becomes
+// available to this build environment.
+//
+// The package also owns the repository's suppression grammar: a
+// finding is silenced by a
+//
+//	//popslint:ignore <analyzer> <justification>
+//
+// comment trailing the offending line or preceding the offending
+// statement/declaration (where it covers the whole statement,
+// including any nested block). The justification is mandatory: an
+// ignore directive without one is itself reported, so every deliberate
+// exception in the tree documents why it is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, enable flags and
+	// ignore directives.
+	Name string
+	// Doc is the one-paragraph description printed by -help.
+	Doc string
+	// Run executes the check over one package, reporting findings
+	// through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The popslint
+// contract applies to production code; tests deliberately build broken
+// circuits, allocate freely and construct recorders without guards.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ignoreRe parses a suppression directive. Anchored to the start of
+// the comment so prose *mentioning* the directive is not one; the
+// analyzer name comes first so a line carrying findings of two checks
+// can silence them independently.
+var ignoreRe = regexp.MustCompile(`^//popslint:ignore\s+(\S+)\s*(.*)`)
+
+// ignoreDirective is one parsed //popslint:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	line     int
+	pos      token.Pos
+}
+
+// Run executes the analyzers over the package and returns the
+// surviving diagnostics: findings covered by a well-formed ignore
+// directive for their analyzer are dropped, and malformed directives
+// (missing justification) are reported as findings of their own. The
+// result is sorted by position.
+func Run(analyzers []*Analyzer, pass *Pass) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		sub := &Pass{
+			Analyzer:  a,
+			Fset:      pass.Fset,
+			Files:     pass.Files,
+			Pkg:       pass.Pkg,
+			TypesInfo: pass.TypesInfo,
+		}
+		if err := a.Run(sub); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		diags = append(diags, sub.diagnostics...)
+	}
+	diags = filterIgnored(pass, diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// filterIgnored applies the suppression directives of every file to
+// the collected diagnostics.
+func filterIgnored(pass *Pass, diags []Diagnostic) []Diagnostic {
+	type span struct {
+		analyzer   string
+		file       string
+		start, end int // line range covered
+	}
+	var spans []span
+	for _, f := range pass.Files {
+		var directives []ignoreDirective
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				reason := m[2]
+				// The justification ends at an embedded comment marker, so
+				// tooling (like the fixture runner's want assertions) can
+				// trail the directive.
+				if i := strings.Index(reason, "//"); i == 0 {
+					reason = ""
+				} else if i > 0 && reason[i-1] == ' ' {
+					reason = reason[:i]
+				}
+				d := ignoreDirective{
+					analyzer: m[1],
+					reason:   strings.TrimSpace(reason),
+					line:     pass.Fset.Position(c.Pos()).Line,
+					pos:      c.Pos(),
+				}
+				if d.reason == "" {
+					diags = append(diags, Diagnostic{
+						Pos:      d.pos,
+						Message:  "popslint:ignore requires a justification: //popslint:ignore <analyzer> <why this is safe>",
+						Analyzer: d.analyzer,
+					})
+					continue
+				}
+				directives = append(directives, d)
+			}
+		}
+		if len(directives) == 0 {
+			continue
+		}
+		// A directive covers its own line, and the full extent of any
+		// statement or declaration that begins on its line or the next —
+		// so a comment above an if-statement silences the whole branch.
+		for _, d := range directives {
+			covered := span{
+				analyzer: d.analyzer,
+				file:     pass.Fset.Position(d.pos).Filename,
+				start:    d.line,
+				end:      d.line,
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					return false
+				}
+				switch n.(type) {
+				case ast.Stmt, ast.Decl:
+					start := pass.Fset.Position(n.Pos()).Line
+					if start == d.line || start == d.line+1 {
+						if end := pass.Fset.Position(n.End()).Line; end > covered.end {
+							covered.end = end
+						}
+					}
+				}
+				return true
+			})
+			spans = append(spans, covered)
+		}
+	}
+	if len(spans) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pass.Fset.Position(d.Pos)
+		suppressed := false
+		for _, s := range spans {
+			if s.analyzer == d.Analyzer && s.file == pos.Filename && pos.Line >= s.start && pos.Line <= s.end {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,236 @@
+// Package analysistest runs an analyzer over golden fixture packages
+// and checks its diagnostics against // want comments, mirroring the
+// x/tools package of the same name on the standard library alone.
+//
+// Fixtures live in GOPATH-style trees under the analyzer's own
+// directory: testdata/src/<import/path>/*.go. Imports between fixture
+// packages resolve inside the same tree, so a fixture can fake the
+// repository packages an analyzer is gated on (repro/internal/netlist,
+// …) — and even standard-library names like fmt — without touching the
+// network or GOROOT.
+//
+// A want comment asserts a diagnostic on its line:
+//
+//	n.Fanout = nil // want `structural netlist write`
+//
+// Each string is a regular expression (quoted or backquoted); several
+// on one line assert several diagnostics. Every reported diagnostic
+// must match a want on its line and every want must be matched —
+// either direction failing fails the test.
+//
+// Diagnostics pass through the same //popslint:ignore filtering as
+// production runs, so suppression fixtures assert silence simply by
+// carrying no want.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"popslint/internal/analysis"
+)
+
+// Run loads each fixture package and checks the analyzer's filtered
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		t.Run(path, func(t *testing.T) {
+			runOne(t, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, importPath string) {
+	t.Helper()
+	ld := &loader{
+		fset: token.NewFileSet(),
+		root: filepath.Join("testdata", "src"),
+		pkgs: map[string]*loaded{},
+	}
+	lp, err := ld.load(importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+	pass := &analysis.Pass{Fset: ld.fset, Files: lp.files, Pkg: lp.pkg, TypesInfo: lp.info}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pass)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
+	}
+	checkWants(t, ld.fset, lp.files, diags)
+}
+
+// loaded is one typechecked fixture package.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*loaded
+}
+
+// load parses and typechecks testdata/src/<path>, resolving its
+// imports recursively through the same tree.
+func (l *loader) load(path string) (*loaded, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		if lp == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return lp, nil
+	}
+	l.pkgs[path] = nil // cycle marker
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := &types.Config{Importer: importerFunc(func(p string) (*types.Package, error) {
+		lp, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	})}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loaded{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = lp
+	return lp, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// checkWants cross-matches diagnostics against want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := splitPatterns(m[1])
+				if err != nil {
+					t.Errorf("%s: bad want comment: %v", pos, err)
+					continue
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, p, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitPatterns parses the quoted or backquoted regexp strings of a
+// want comment.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"', '`':
+			end := strings.IndexByte(s[1:], s[0])
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated pattern in %q", s)
+			}
+			lit := s[:end+2]
+			p, err := strconv.Unquote(lit)
+			if err != nil {
+				return nil, fmt.Errorf("unquoting %q: %v", lit, err)
+			}
+			out = append(out, p)
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("pattern must be quoted: %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

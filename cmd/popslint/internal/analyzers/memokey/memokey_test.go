@@ -1,0 +1,11 @@
+package memokey
+
+import (
+	"testing"
+
+	"popslint/internal/analysistest"
+)
+
+func TestMemokey(t *testing.T) {
+	analysistest.Run(t, Analyzer, "repro/internal/engine")
+}

@@ -1,0 +1,10 @@
+// Package netlist is a fixture mirror: just the Circuit display name
+// and the content-derived key functions memokey cares about.
+package netlist
+
+type Circuit struct {
+	Name string
+}
+
+// Fingerprint returns the content address of a circuit.
+func Fingerprint(c *Circuit) string { return "fp" }

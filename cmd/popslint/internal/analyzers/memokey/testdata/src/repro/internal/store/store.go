@@ -1,0 +1,7 @@
+// Package store is a fixture mirror of the durable tier's interface.
+package store
+
+type Store interface {
+	Get(key string) ([]byte, error)
+	Put(key string, value []byte) error
+}

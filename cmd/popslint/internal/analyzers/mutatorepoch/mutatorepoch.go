@@ -1,0 +1,473 @@
+// Package mutatorepoch enforces the repository's stale-analysis
+// discipline (the PR-3 bug class): every structural mutation of a
+// netlist must be visible to the incremental-STA epoch.
+//
+// Inside repro/internal/netlist, any function that writes structural
+// state — Node.Fanin, Node.Fanout, Node.Type, or the Circuit node
+// registries (Nodes, Inputs, Outputs, byName) — must bump the mutation
+// epoch on every return path that performed a write: directly
+// (MarkMutated, epoch arithmetic), or by calling another function of
+// the package that bumps it. Size and Vt fields (CIn, CWire, Vt) are
+// exempt by the documented epoch contract: they perturb timing values,
+// not structure, and sessions repair them incrementally.
+//
+// A structural helper whose callers own the bump (batch rewires)
+// declares it with a //pops:mutates directive on its doc comment: the
+// helper's own body is excused, and every call to it counts as a
+// structural write at the call site instead.
+//
+// Outside the netlist package, writing those fields directly is
+// forbidden outright — callers must go through the Circuit mutators
+// (InsertCell, SpliceInput, RewirePin, ReplaceType, BypassInverter,
+// RemoveIfDead, …) — because a direct rewire silently invalidates
+// every cached analysis of the circuit.
+package mutatorepoch
+
+import (
+	"go/ast"
+	"go/types"
+
+	"popslint/internal/analysis"
+	"popslint/internal/lintutil"
+)
+
+// NetlistPath is the package that owns circuit structure.
+const NetlistPath = "repro/internal/netlist"
+
+// Structural field sets. Keys are field names on netlist.Node and
+// netlist.Circuit respectively.
+var (
+	nodeStructFields = map[string]bool{"Fanin": true, "Fanout": true, "Type": true}
+	circStructFields = map[string]bool{"Nodes": true, "Inputs": true, "Outputs": true, "byName": true}
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mutatorepoch",
+	Doc:  "structural netlist mutations must bump the circuit epoch (MarkMutated); only internal/netlist may rewire structure directly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == NetlistPath {
+		runInside(pass)
+	} else {
+		runOutside(pass)
+	}
+	return nil
+}
+
+// ---- outside internal/netlist: no direct structural writes ----
+
+func runOutside(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if len(f.Decls) > 0 && pass.InTestFile(f.Decls[0].Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					if name, field, ok := structuralTarget(pass, lhs); ok {
+						pass.Reportf(lhs.Pos(),
+							"direct write to netlist.%s.%s outside %s: use a Circuit mutator (RewirePin, InsertCell, SpliceInput, ReplaceType, …) so the structural epoch moves",
+							name, field, NetlistPath)
+					}
+				}
+			case *ast.IncDecStmt:
+				if name, field, ok := structuralTarget(pass, st.X); ok {
+					pass.Reportf(st.Pos(), "direct write to netlist.%s.%s outside %s", name, field, NetlistPath)
+				}
+			case *ast.CallExpr:
+				if name, field, ok := deleteTarget(pass, st); ok {
+					pass.Reportf(st.Pos(), "direct delete from netlist.%s.%s outside %s", name, field, NetlistPath)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// structuralTarget reports whether the assignable expression writes a
+// structural field of netlist.Node or netlist.Circuit, unwrapping
+// index expressions (n.Fanin[i] = …) and parens.
+func structuralTarget(pass *analysis.Pass, e ast.Expr) (typeName, field string, ok bool) {
+	e = ast.Unparen(e)
+	if ix, isIndex := e.(*ast.IndexExpr); isIndex {
+		e = ast.Unparen(ix.X)
+	}
+	sel, isSel := e.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	base := pass.TypesInfo.TypeOf(sel.X)
+	switch {
+	case lintutil.IsNamed(base, NetlistPath, "Node") && nodeStructFields[sel.Sel.Name]:
+		return "Node", sel.Sel.Name, true
+	case lintutil.IsNamed(base, NetlistPath, "Circuit") && (circStructFields[sel.Sel.Name] || sel.Sel.Name == "epoch"):
+		return "Circuit", sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// deleteTarget matches delete(c.byName, …) style builtin calls on
+// structural maps.
+func deleteTarget(pass *analysis.Pass, call *ast.CallExpr) (typeName, field string, ok bool) {
+	id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent || id.Name != "delete" || len(call.Args) != 2 {
+		return "", "", false
+	}
+	if b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "delete" {
+		return "", "", false
+	}
+	return structuralTarget(pass, call.Args[0])
+}
+
+// ---- inside internal/netlist: every writing return path must bump ----
+
+func runInside(pass *analysis.Pass) {
+	// First pass: classify every function of the package — does it bump
+	// the epoch directly, and is it a declared //pops:mutates helper?
+	bumpers := map[*types.Func]bool{}
+	mutates := map[*types.Func]bool{}
+	type fn struct {
+		decl *ast.FuncDecl
+		obj  *types.Func
+	}
+	var fns []fn
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, fn{fd, obj})
+			if _, ok := lintutil.HasDirective(fd.Doc, "mutates"); ok {
+				mutates[obj] = true
+			}
+			if directBump(pass, fd.Body) {
+				bumpers[obj] = true
+			}
+		}
+	}
+	// Transitive closure: calling a bumper bumps.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if bumpers[f.obj] {
+				continue
+			}
+			found := false
+			ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := lintutil.CalleeFunc(pass.TypesInfo, call); callee != nil && bumpers[callee] {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				bumpers[f.obj] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, f := range fns {
+		if mutates[f.obj] {
+			continue // helper: callers own the bump
+		}
+		checkReturnPaths(pass, f.decl, bumpers, mutates)
+	}
+}
+
+// directBump reports whether the body textually bumps the epoch: a
+// MarkMutated call on a Circuit, or arithmetic on the epoch field.
+func directBump(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if isMarkMutated(pass, st) {
+				found = true
+			}
+		case *ast.IncDecStmt:
+			if isEpochField(pass, st.X) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if isEpochField(pass, lhs) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isMarkMutated(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "MarkMutated" {
+		return false
+	}
+	return lintutil.IsNamed(pass.TypesInfo.TypeOf(sel.X), NetlistPath, "Circuit")
+}
+
+func isEpochField(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "epoch" {
+		return false
+	}
+	return lintutil.IsNamed(pass.TypesInfo.TypeOf(sel.X), NetlistPath, "Circuit")
+}
+
+// pathState is the abstract state of the return-path walk. A path is
+// dirty when a structural write happened before any epoch bump; once
+// the epoch has moved on a path, later writes on the same path are
+// covered (the epoch already differs from what any observer cached
+// before the mutator ran — the contract is between protocol steps,
+// not mid-mutation).
+type pathState struct {
+	bumped     bool // the epoch has moved on this path
+	dirty      bool // a structural write preceded any bump
+	terminated bool // the path ended (return / panic)
+}
+
+func merge(a, b pathState) pathState {
+	switch {
+	case a.terminated && b.terminated:
+		return pathState{terminated: true}
+	case a.terminated:
+		return b
+	case b.terminated:
+		return a
+	}
+	return pathState{bumped: a.bumped && b.bumped, dirty: a.dirty || b.dirty}
+}
+
+// checkReturnPaths walks the function body tracking, per path, a
+// single "dirty" bit: a structural write happened and the epoch has
+// not moved since. Every return (and fall-off) reached dirty is
+// reported. The walk is a conservative approximation: branches merge
+// by union of dirtiness, a statement containing both a write and a
+// bump counts as covered, and break/continue paths are not tracked to
+// their targets.
+func checkReturnPaths(pass *analysis.Pass, fd *ast.FuncDecl, bumpers, mutates map[*types.Func]bool) {
+	w := &walker{pass: pass, fd: fd, bumpers: bumpers, mutates: mutates}
+	end := w.stmts(fd.Body.List, pathState{})
+	if !end.terminated && end.dirty {
+		pass.Reportf(fd.Name.Pos(),
+			"%s writes netlist structure but can return without MarkMutated: incremental STA would go stale",
+			fd.Name.Name)
+	}
+}
+
+type walker struct {
+	pass     *analysis.Pass
+	fd       *ast.FuncDecl
+	bumpers  map[*types.Func]bool
+	mutates  map[*types.Func]bool
+	reported bool // one report per function keeps the output readable
+}
+
+func (w *walker) stmts(list []ast.Stmt, st pathState) pathState {
+	for _, s := range list {
+		st = w.stmt(s, st)
+		if st.terminated {
+			break
+		}
+	}
+	return st
+}
+
+func (w *walker) stmt(s ast.Stmt, st pathState) pathState {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.ReturnStmt:
+		st = w.scan(s, st)
+		if st.dirty && !w.reported {
+			w.reported = true
+			w.pass.Reportf(s.Pos(),
+				"return after structural netlist write without MarkMutated in %s: incremental STA would go stale",
+				w.fd.Name.Name)
+		}
+		st.terminated = true
+		return st
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.scan(s.Init, st)
+		}
+		st = w.scan(s.Cond, st)
+		then := w.stmt(s.Body, st)
+		alt := st
+		if s.Else != nil {
+			alt = w.stmt(s.Else, st)
+		}
+		return merge(then, alt)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.scan(s.Init, st)
+		}
+		if s.Cond != nil {
+			st = w.scan(s.Cond, st)
+		}
+		body := w.stmt(s.Body, st)
+		if s.Post != nil && !body.terminated {
+			body = w.scan(s.Post, body)
+		}
+		// Zero iterations leave st; one or more leave the body's state.
+		return merge(st, body)
+	case *ast.RangeStmt:
+		st = w.scan(s.X, st)
+		body := w.stmt(s.Body, st)
+		return merge(st, body)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this path; treat as terminated so
+		// they do not force a merge penalty on the fallthrough path.
+		st.terminated = true
+		return st
+	case *ast.ExprStmt:
+		st = w.scan(s, st)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isPanic(w.pass, call) {
+			st.terminated = true
+		}
+		return st
+	default:
+		return w.scan(s, st)
+	}
+}
+
+// branches merges the clause bodies of a switch/select, including the
+// implicit empty branch when there is no default clause.
+func (w *walker) branches(s ast.Stmt, st pathState) pathState {
+	var clauses []ast.Stmt
+	hasDefault := false
+	collect := func(body []ast.Stmt, isDefault bool) {
+		clauses = append(clauses, &ast.BlockStmt{List: body})
+		hasDefault = hasDefault || isDefault
+	}
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = w.scan(s.Init, st)
+		}
+		if s.Tag != nil {
+			st = w.scan(s.Tag, st)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				st = w.scan(e, st)
+			}
+			collect(cc.Body, cc.List == nil)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = w.scan(s.Init, st)
+		}
+		st = w.scan(s.Assign, st)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			collect(cc.Body, cc.List == nil)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				st = w.scan(cc.Comm, st)
+			}
+			collect(cc.Body, cc.Comm == nil)
+		}
+	}
+	if len(clauses) == 0 {
+		return st
+	}
+	out := w.stmt(clauses[0], st)
+	for _, c := range clauses[1:] {
+		out = merge(out, w.stmt(c, st))
+	}
+	if !hasDefault {
+		out = merge(out, st)
+	}
+	return out
+}
+
+// scan folds the write/bump events contained in one leaf node into the
+// dirty bit. A bump anywhere in the node covers writes in the same
+// node (order within a single statement is not tracked).
+func (w *walker) scan(n ast.Node, st pathState) pathState {
+	hasWrite, hasBump := false, false
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // separate execution context
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if isEpochField(w.pass, lhs) {
+					hasBump = true
+				} else if _, _, ok := structuralTarget(w.pass, lhs); ok {
+					hasWrite = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if isEpochField(w.pass, x.X) {
+				hasBump = true
+			} else if _, _, ok := structuralTarget(w.pass, x.X); ok {
+				hasWrite = true
+			}
+		case *ast.CallExpr:
+			switch {
+			case isMarkMutated(w.pass, x):
+				hasBump = true
+			default:
+				if _, _, ok := deleteTarget(w.pass, x); ok {
+					hasWrite = true
+				}
+				if callee := lintutil.CalleeFunc(w.pass.TypesInfo, x); callee != nil {
+					if w.bumpers[callee] {
+						hasBump = true
+					}
+					if w.mutates[callee] {
+						hasWrite = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	switch {
+	case hasBump:
+		st.bumped = true
+		st.dirty = false
+	case hasWrite:
+		if !st.bumped {
+			st.dirty = true
+		}
+	}
+	return st
+}
+
+func isPanic(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

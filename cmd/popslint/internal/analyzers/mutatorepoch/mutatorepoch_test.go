@@ -1,0 +1,11 @@
+package mutatorepoch
+
+import (
+	"testing"
+
+	"popslint/internal/analysistest"
+)
+
+func TestMutatorepoch(t *testing.T) {
+	analysistest.Run(t, Analyzer, "repro/internal/netlist", "outside")
+}

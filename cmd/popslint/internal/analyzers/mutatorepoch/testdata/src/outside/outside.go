@@ -1,0 +1,26 @@
+// Package outside exercises the out-of-package rule: structural fields
+// of the netlist are written only through its mutators.
+package outside
+
+import "repro/internal/netlist"
+
+// Rewire writes structure directly from outside the package.
+func Rewire(n, d *netlist.Node, pin int) {
+	n.Fanin[pin] = d // want `direct write to netlist.Node.Fanin`
+}
+
+// Grow appends to a fanout list directly.
+func Grow(n, f *netlist.Node) {
+	n.Fanout = append(n.Fanout, f) // want `direct write to netlist.Node.Fanout`
+}
+
+// Retype goes through the package mutator: fine.
+func Retype(c *netlist.Circuit, n *netlist.Node) {
+	c.GoodReplaceType(n, netlist.TypeNand)
+}
+
+// SetSize writes exempt electrical fields: fine.
+func SetSize(n *netlist.Node) {
+	n.CIn = 2.0
+	n.Vt = 1
+}

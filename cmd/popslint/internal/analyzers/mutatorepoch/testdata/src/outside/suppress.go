@@ -1,0 +1,17 @@
+package outside
+
+import "repro/internal/netlist"
+
+// Transplant documents a justified exception: the finding is
+// suppressed, so no diagnostic survives.
+func Transplant(n, d *netlist.Node) {
+	//popslint:ignore mutatorepoch scaffolding circuit is rebuilt from scratch before any analysis
+	n.Fanin[0] = d
+}
+
+// MissingWhy carries a directive without a justification: the
+// directive itself is reported and the finding is not suppressed.
+func MissingWhy(n, d *netlist.Node) {
+	//popslint:ignore mutatorepoch // want `requires a justification`
+	n.Fanin[0] = d // want `direct write to netlist.Node.Fanin`
+}

@@ -1,0 +1,96 @@
+package netlist
+
+// GoodReplaceType bumps on its only return path.
+func (c *Circuit) GoodReplaceType(n *Node, t NodeType) {
+	n.Type = t
+	c.MarkMutated()
+}
+
+// BadReplaceType writes structure and falls off without a bump.
+func (c *Circuit) BadReplaceType(n *Node, t NodeType) { // want `writes netlist structure but can return without MarkMutated`
+	n.Type = t
+}
+
+// BadEarlyReturn bumps at the end but can leave dirty through the
+// early return.
+func (c *Circuit) BadEarlyReturn(n *Node, t NodeType, stop bool) {
+	n.Type = t
+	if stop {
+		return // want `return after structural netlist write without MarkMutated`
+	}
+	c.MarkMutated()
+}
+
+// GoodGuardedWrite writes and bumps inside the same branch; the
+// untouched path needs no bump.
+func (c *Circuit) GoodGuardedWrite(n *Node, t NodeType, cond bool) {
+	if cond {
+		n.Type = t
+		c.MarkMutated()
+	}
+}
+
+// GoodEarlyReturn returns before any write.
+func (c *Circuit) GoodEarlyReturn(n, d *Node, pin int) bool {
+	if pin >= len(n.Fanin) {
+		return false
+	}
+	n.Fanin[pin] = d
+	c.MarkMutated()
+	return true
+}
+
+// removeNode is an in-package bumper.
+func (c *Circuit) removeNode(n *Node) {
+	delete(c.byName, n.Name)
+	c.MarkMutated()
+}
+
+// GoodTransitive bumps through removeNode.
+func (c *Circuit) GoodTransitive(n *Node) bool {
+	if len(n.Fanout) != 0 {
+		return false
+	}
+	c.removeNode(n)
+	return true
+}
+
+// removeFromFanout is a structural helper whose callers own the bump.
+//
+//pops:mutates callers batch rewires and bump once
+func removeFromFanout(n, target *Node) {
+	keep := n.Fanout[:0]
+	for _, f := range n.Fanout {
+		if f != target {
+			keep = append(keep, f)
+		}
+	}
+	n.Fanout = keep
+}
+
+// GoodHelperCaller bumps after using the helper.
+func (c *Circuit) GoodHelperCaller(n *Node) {
+	removeFromFanout(n.Fanin[0], n)
+	c.MarkMutated()
+}
+
+// BadHelperCaller uses the //pops:mutates helper and never bumps.
+func (c *Circuit) BadHelperCaller(n *Node) { // want `writes netlist structure but can return without MarkMutated`
+	removeFromFanout(n.Fanin[0], n)
+}
+
+// GoodBumpFirst bumps before the registry writes (the addNode
+// pattern): once the epoch moved on a path, later writes on the same
+// path are covered.
+func (c *Circuit) GoodBumpFirst(n *Node) {
+	c.MarkMutated()
+	c.Nodes = append(c.Nodes, n)
+	c.Inputs = append(c.Inputs, n)
+}
+
+// SetElectrical writes exempt electrical state; the epoch contract
+// repairs sizes and thresholds incrementally, so no bump is required.
+func (c *Circuit) SetElectrical(n *Node, vt uint8) {
+	n.Vt = vt
+	n.CIn = 1.5
+}

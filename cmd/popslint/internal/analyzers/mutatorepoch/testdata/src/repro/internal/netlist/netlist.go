@@ -1,0 +1,36 @@
+// Package netlist is a fixture mirror of repro/internal/netlist: the
+// same type shapes and epoch contract, reduced to what mutatorepoch
+// inspects.
+package netlist
+
+type NodeType uint8
+
+const (
+	TypeInv NodeType = iota
+	TypeNand
+)
+
+type Node struct {
+	ID     int
+	Name   string
+	Type   NodeType
+	Fanin  []*Node
+	Fanout []*Node
+	CIn    float64
+	Vt     uint8
+}
+
+type Circuit struct {
+	Name    string
+	Nodes   []*Node
+	Inputs  []*Node
+	Outputs []*Node
+	byName  map[string]*Node
+	epoch   uint64
+}
+
+// MarkMutated advances the structural epoch.
+func (c *Circuit) MarkMutated() { c.epoch++ }
+
+// Epoch returns the structural epoch.
+func (c *Circuit) Epoch() uint64 { return c.epoch }

@@ -1,0 +1,179 @@
+// Package nilrecorder enforces the observability layer's nil-safety
+// contract: metrics and recorders are deliberately optional — a nil
+// *engine.Metrics or a recorder wrapping one must behave as a no-op,
+// so instrumented code never has to guard its own telemetry calls.
+// That only holds if every method entry point checks for nil itself.
+//
+// Two rules:
+//
+//  1. Every method on *engine.Metrics must begin with a nil-receiver
+//     guard (its first statement an if comparing the receiver to nil).
+//  2. Every method a type contributes to the core.Recorder or
+//     sta.Recorder interfaces must begin with a nil guard of the
+//     receiver or of a receiver field — pointer receivers can be nil
+//     themselves, and the value-receiver adapters wrap a *Metrics
+//     whose nil is the no-op signal.
+//
+// Empty bodies and unnamed receivers trivially satisfy both (nothing
+// dereferences), and value-receiver implementations without pointer
+// fields (nopRecorder{}) have nothing that can be nil, so they are
+// exempt.
+package nilrecorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"popslint/internal/analysis"
+	"popslint/internal/lintutil"
+)
+
+const (
+	EnginePath = "repro/internal/engine"
+	CorePath   = "repro/internal/core"
+	StaPath    = "repro/internal/sta"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilrecorder",
+	Doc:  "*engine.Metrics methods and pointer-receiver Recorder implementations must begin with a nil-receiver guard",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	ifaces := map[string]*types.Interface{
+		"core.Recorder": lintutil.LookupInterface(pass.Pkg, CorePath, "Recorder"),
+		"sta.Recorder":  lintutil.LookupInterface(pass.Pkg, StaPath, "Recorder"),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			checkMethod(pass, fd, ifaces)
+		}
+	}
+	return nil
+}
+
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, ifaces map[string]*types.Interface) {
+	if len(fd.Recv.List) != 1 {
+		return
+	}
+	recvField := fd.Recv.List[0]
+	recvType := pass.TypesInfo.TypeOf(recvField.Type)
+	if recvType == nil {
+		return
+	}
+	// Unnamed receivers cannot be dereferenced.
+	if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
+		return
+	}
+	recvName := recvField.Names[0].Name
+	named := lintutil.NamedFrom(recvType)
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	_, isPtr := types.Unalias(recvType).(*types.Pointer)
+
+	var why string
+	switch {
+	case named.Obj().Pkg().Path() == EnginePath && named.Obj().Name() == "Metrics":
+		if !isPtr {
+			return
+		}
+		why = "a nil *Metrics must be a no-op collector"
+	default:
+		for ifaceName, iface := range ifaces {
+			if iface == nil {
+				continue
+			}
+			if !implementsMethod(recvType, iface, fd.Name.Name) {
+				continue
+			}
+			why = "a nil " + ifaceName + " implementation must be a no-op"
+			break
+		}
+		if why == "" {
+			return
+		}
+		// A value receiver cannot itself be nil; it is only on the hook
+		// for the nil-able pointers it wraps.
+		if !isPtr && !hasPointerField(named) {
+			return
+		}
+	}
+
+	if len(fd.Body.List) == 0 {
+		return // nothing dereferences
+	}
+	if beginsWithNilGuard(fd.Body.List[0], recvName) {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"method %s on %s must begin with a nil-receiver guard (%s)",
+		fd.Name.Name, named.Obj().Name(), why)
+}
+
+// hasPointerField reports whether the named type's underlying struct
+// carries a pointer-typed field (the wrapped collector).
+func hasPointerField(named *types.Named) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if _, ok := types.Unalias(st.Field(i).Type()).(*types.Pointer); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// implementsMethod reports whether the receiver type satisfies iface
+// and the method name is part of the interface contract.
+func implementsMethod(recv types.Type, iface *types.Interface, method string) bool {
+	inContract := false
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == method {
+			inContract = true
+			break
+		}
+	}
+	if !inContract {
+		return false
+	}
+	return types.Implements(recv, iface)
+}
+
+// beginsWithNilGuard reports whether the statement is an if whose
+// condition compares the receiver — or a field selected from it — to
+// nil, in either direction and with either == or !=.
+func beginsWithNilGuard(s ast.Stmt, recvName string) bool {
+	ifStmt, ok := s.(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	cond, ok := ast.Unparen(ifStmt.Cond).(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.EQL && cond.Op != token.NEQ) {
+		return false
+	}
+	return isNilCompareOperand(cond.X, cond.Y, recvName) ||
+		isNilCompareOperand(cond.Y, cond.X, recvName)
+}
+
+func isNilCompareOperand(subject, other ast.Expr, recvName string) bool {
+	if id, ok := ast.Unparen(other).(*ast.Ident); !ok || id.Name != "nil" {
+		return false
+	}
+	switch e := ast.Unparen(subject).(type) {
+	case *ast.Ident:
+		return e.Name == recvName
+	case *ast.SelectorExpr:
+		base, ok := ast.Unparen(e.X).(*ast.Ident)
+		return ok && base.Name == recvName
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package nilrecorder
+
+import (
+	"testing"
+
+	"popslint/internal/analysistest"
+)
+
+func TestNilrecorder(t *testing.T) {
+	analysistest.Run(t, Analyzer, "repro/internal/engine")
+}

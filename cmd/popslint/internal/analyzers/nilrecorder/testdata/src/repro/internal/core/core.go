@@ -1,0 +1,8 @@
+// Package core is a fixture mirror holding the protocol Recorder
+// interface shape.
+package core
+
+type Recorder interface {
+	RoundDone(structural bool)
+	StageDone(stage string, millis int64)
+}

@@ -1,0 +1,104 @@
+// Package engine is a fixture mirror of the metrics collector and its
+// recorder adapters.
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/sta"
+)
+
+type registry struct{ n int }
+
+// Metrics is the nil-safe collector: a nil *Metrics must be a no-op.
+type Metrics struct {
+	reg    *registry
+	rounds int64
+}
+
+// Registry is guarded: good.
+func (m *Metrics) Registry() *registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// BadRegistry dereferences an unguarded receiver.
+func (m *Metrics) BadRegistry() *registry { // want `must begin with a nil-receiver guard`
+	return m.reg
+}
+
+// roundDone uses the inverted guard form: good.
+func (m *Metrics) roundDone() {
+	if m != nil {
+		m.rounds++
+	}
+}
+
+// noop has an empty body: trivially nil-safe.
+func (m *Metrics) noop() {}
+
+type protocolRecorder struct{ m *Metrics }
+
+var _ core.Recorder = (*protocolRecorder)(nil)
+
+// RoundDone guards the wrapped collector field: good.
+func (r *protocolRecorder) RoundDone(structural bool) {
+	if r.m == nil {
+		return
+	}
+	r.m.rounds++
+}
+
+// StageDone forgets the guard.
+func (r *protocolRecorder) StageDone(stage string, millis int64) { // want `must begin with a nil-receiver guard`
+	r.m.rounds++
+}
+
+type sessionRecorder struct{ m *Metrics }
+
+var _ sta.Recorder = (*sessionRecorder)(nil)
+
+// Analyzed guards the receiver itself: good.
+func (r *sessionRecorder) Analyzed(full bool) {
+	if r == nil {
+		return
+	}
+	r.m.roundDone()
+}
+
+// helper is not part of the Recorder contract and not on Metrics, so
+// rule 2 does not apply.
+func (r *sessionRecorder) helper() int64 {
+	return r.m.rounds
+}
+
+type wordRecorder struct{ m *Metrics }
+
+var _ sta.Recorder = wordRecorder{}
+
+// Analyzed on a value receiver still guards the wrapped pointer: good.
+func (r wordRecorder) Analyzed(full bool) {
+	if r.m == nil {
+		return
+	}
+	r.m.rounds++
+}
+
+type unguardedValue struct{ m *Metrics }
+
+var _ sta.Recorder = unguardedValue{}
+
+// Analyzed dereferences the wrapped pointer unguarded.
+func (r unguardedValue) Analyzed(full bool) { // want `must begin with a nil-receiver guard`
+	r.m.rounds++
+}
+
+// nopRecorder is a value type without pointer fields: nothing can be
+// nil, so no guard needed.
+type nopRecorder struct{}
+
+var _ core.Recorder = nopRecorder{}
+
+func (nopRecorder) RoundDone(structural bool)            {}
+func (nopRecorder) StageDone(stage string, millis int64) {}

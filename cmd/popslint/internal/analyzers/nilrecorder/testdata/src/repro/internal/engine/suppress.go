@@ -1,0 +1,16 @@
+package engine
+
+// Snapshot is justified: only reachable through a non-nil handle, and
+// the suppression says why. No diagnostic survives.
+//
+//popslint:ignore nilrecorder only called via Engine.metrics which is never nil after New
+func (m *Metrics) Snapshot() int64 {
+	return m.rounds
+}
+
+// BadSnapshot carries a directive without a justification.
+//
+//popslint:ignore nilrecorder // want `requires a justification`
+func (m *Metrics) BadSnapshot() int64 { // want `must begin with a nil-receiver guard`
+	return m.rounds
+}

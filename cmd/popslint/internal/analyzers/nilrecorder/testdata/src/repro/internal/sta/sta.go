@@ -1,0 +1,7 @@
+// Package sta is a fixture mirror holding the session Recorder
+// interface shape.
+package sta
+
+type Recorder interface {
+	Analyzed(full bool)
+}

@@ -1,0 +1,392 @@
+// Package noalloc checks the repository's steady-state zero-allocation
+// contract: a function whose doc comment carries a //pops:noalloc
+// directive promises that, once its workspace is warm, it performs no
+// heap allocation per call — the property the genbench harness measures
+// and the per-round hot loops (sizing rounds, STA passes, the power
+// word kernel, metrics recorders) depend on.
+//
+// Inside an enrolled function the analyzer rejects the constructs that
+// allocate unconditionally or escape analysis reliably heap-boxes:
+//
+//   - make and new — except make inside an if whose condition compares
+//     cap(…) or len(…), the repository's guarded-grow idiom (the branch
+//     only runs when the workspace must grow, which is amortized, not
+//     steady-state)
+//   - slice and map literals (they allocate backing storage) and the
+//     address of any composite literal (&T{…} escapes); a plain struct
+//     literal stored by value (ws.x = T{} zeroing resets) is free and
+//     passes
+//   - function literals: closures capture and escape
+//   - calls into fmt and errors: both allocate on every call
+//   - append to a slice declared nil inside the function (growing a
+//     fresh slice allocates; appending into a reused workspace slice,
+//     a parameter, or a reslice like buf[:0] does not, once warm)
+//   - non-constant string concatenation and string<->[]byte conversions
+//   - passing a non-pointer, non-interface value to an interface
+//     parameter (implicit boxing)
+//
+// Cold paths inside an enrolled function — error returns, first-call
+// setup — are opted out per-site with //popslint:ignore noalloc and a
+// justification saying why the path is off the steady-state.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"popslint/internal/analysis"
+	"popslint/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //pops:noalloc must not contain allocation-inducing constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			if _, ok := lintutil.HasDirective(fd.Doc, "noalloc"); !ok {
+				continue
+			}
+			c := &checker{pass: pass, fn: fd}
+			c.collectNilSlices(fd.Body)
+			c.block(fd.Body, false)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+	// nilSlices holds slice variables declared with no backing storage
+	// inside the function (var s []T); appending to them allocates.
+	nilSlices map[types.Object]bool
+}
+
+// collectNilSlices records the function-local slice variables declared
+// without an initializer — append targets that necessarily allocate.
+func (c *checker) collectNilSlices(body *ast.BlockStmt) {
+	c.nilSlices = map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		decl, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := decl.Decl.(*ast.GenDecl)
+		if !ok {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := c.pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := types.Unalias(obj.Type()).Underlying().(*types.Slice); isSlice {
+					c.nilSlices[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// block walks statements tracking whether the current branch is under a
+// guarded-grow condition (an if comparing cap/len), which legalizes
+// make.
+func (c *checker) block(s ast.Stmt, guarded bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			c.block(st, guarded)
+		}
+	case *ast.IfStmt:
+		c.stmtExprs(s.Init, guarded)
+		c.expr(s.Cond, guarded)
+		g := guarded || isGrowGuard(s.Cond)
+		c.block(s.Body, g)
+		c.block(s.Else, guarded)
+	case *ast.ForStmt:
+		c.stmtExprs(s.Init, guarded)
+		c.expr(s.Cond, guarded)
+		c.stmtExprs(s.Post, guarded)
+		c.block(s.Body, guarded)
+	case *ast.RangeStmt:
+		c.expr(s.X, guarded)
+		c.block(s.Body, guarded)
+	case *ast.SwitchStmt:
+		c.stmtExprs(s.Init, guarded)
+		c.expr(s.Tag, guarded)
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			for _, e := range cc.List {
+				c.expr(e, guarded)
+			}
+			for _, st := range cc.Body {
+				c.block(st, guarded)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		c.stmtExprs(s.Init, guarded)
+		c.stmtExprs(s.Assign, guarded)
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			for _, st := range cc.Body {
+				c.block(st, guarded)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			c.stmtExprs(cc.Comm, guarded)
+			for _, st := range cc.Body {
+				c.block(st, guarded)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.block(s.Stmt, guarded)
+	default:
+		c.stmtExprs(s, guarded)
+	}
+}
+
+// stmtExprs checks the expressions of a leaf statement.
+func (c *checker) stmtExprs(s ast.Stmt, guarded bool) {
+	if s == nil {
+		return
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		c.exprShallow(e, guarded)
+		return true
+	})
+}
+
+func (c *checker) expr(e ast.Expr, guarded bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		sub, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		c.exprShallow(sub, guarded)
+		return true
+	})
+}
+
+// exprShallow applies the per-node rules (children are visited by the
+// surrounding Inspect).
+func (c *checker) exprShallow(e ast.Expr, guarded bool) {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				c.pass.Reportf(e.Pos(), "address of composite literal escapes in //pops:noalloc function %s", c.fn.Name.Name)
+			}
+		}
+	case *ast.CompositeLit:
+		// Value struct/array literals are plain stores (the workspace
+		// zeroing idiom *ws = T{}); only slice and map literals bring
+		// fresh backing storage.
+		if t := c.pass.TypesInfo.TypeOf(e); t != nil {
+			switch types.Unalias(t).Underlying().(type) {
+			case *types.Slice:
+				c.pass.Reportf(e.Pos(), "slice literal allocates in //pops:noalloc function %s", c.fn.Name.Name)
+			case *types.Map:
+				c.pass.Reportf(e.Pos(), "map literal allocates in //pops:noalloc function %s", c.fn.Name.Name)
+			}
+		}
+	case *ast.FuncLit:
+		c.pass.Reportf(e.Pos(), "function literal (closure) escapes in //pops:noalloc function %s", c.fn.Name.Name)
+	case *ast.BinaryExpr:
+		c.checkConcat(e)
+	case *ast.CallExpr:
+		c.checkCall(e, guarded)
+	}
+}
+
+func (c *checker) checkConcat(e *ast.BinaryExpr) {
+	if e.Op.String() != "+" {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil { // constant folding: free
+		return
+	}
+	if b, ok := types.Unalias(tv.Type).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		c.pass.Reportf(e.Pos(), "string concatenation allocates in //pops:noalloc function %s", c.fn.Name.Name)
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr, guarded bool) {
+	fun := ast.Unparen(call.Fun)
+
+	// Type conversions: string <-> []byte copy.
+	if tv, ok := c.pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if !guarded {
+					c.pass.Reportf(call.Pos(), "make allocates in //pops:noalloc function %s (grow behind an if cap(…)/len(…) guard, or justify with //popslint:ignore)", c.fn.Name.Name)
+				}
+			case "new":
+				c.pass.Reportf(call.Pos(), "new allocates in //pops:noalloc function %s", c.fn.Name.Name)
+			case "append":
+				c.checkAppend(call)
+			}
+			return
+		}
+	}
+
+	if callee := lintutil.CalleeFunc(c.pass.TypesInfo, call); callee != nil {
+		if pkg := callee.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "fmt", "errors":
+				c.pass.Reportf(call.Pos(), "%s.%s allocates in //pops:noalloc function %s", pkg.Name(), callee.Name(), c.fn.Name.Name)
+				return
+			}
+		}
+		c.checkBoxing(call, callee)
+	}
+}
+
+func (c *checker) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	if tv, ok := c.pass.TypesInfo.Types[call]; ok && tv.Value != nil {
+		return // constant conversion
+	}
+	if isString(to) && isByteSlice(from) || isByteSlice(to) && isString(from) {
+		c.pass.Reportf(call.Pos(), "string<->[]byte conversion copies in //pops:noalloc function %s", c.fn.Name.Name)
+	}
+}
+
+// checkAppend flags appends that grow a slice declared nil in this
+// function: they must allocate. Appends to parameters, fields and
+// reslices are the reuse idiom and pass.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.nilSlices[obj] {
+		c.pass.Reportf(call.Pos(), "append to nil-declared local slice %s allocates in //pops:noalloc function %s (reuse a workspace slice)", id.Name, c.fn.Name.Name)
+	}
+}
+
+// checkBoxing flags non-pointer, non-interface, non-constant arguments
+// passed to interface parameters — the implicit conversion heap-boxes
+// the value.
+func (c *checker) checkBoxing(call *ast.CallExpr, callee *types.Func) {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type()
+			if sl, ok := types.Unalias(pt).Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := types.Unalias(pt).Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv, ok := c.pass.TypesInfo.Types[arg]
+		if !ok || tv.Value != nil {
+			continue // constants are boxed into read-only statics
+		}
+		at := types.Unalias(tv.Type)
+		if at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Pointer, *types.Interface, *types.Signature, *types.Chan, *types.Map, *types.Slice:
+			continue // already a reference; conversion is pointer-shaped
+		}
+		c.pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes the value in //pops:noalloc function %s", tv.Type, c.fn.Name.Name)
+	}
+}
+
+// isGrowGuard recognizes the guarded-grow condition: a comparison
+// involving cap(…) or len(…), e.g. if cap(s.buf) < n { s.buf = make… }.
+func isGrowGuard(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		return false
+	}
+	// Must actually be a comparison, not a bare call.
+	switch c := cond.(type) {
+	case *ast.BinaryExpr:
+		switch c.Op.String() {
+		case "<", "<=", ">", ">=", "==", "!=", "&&", "||":
+			return true
+		}
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(sl.Elem()).Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,11 @@
+package noalloc
+
+import (
+	"testing"
+
+	"popslint/internal/analysistest"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, Analyzer, "a")
+}

@@ -1,0 +1,132 @@
+// Package a exercises the //pops:noalloc contract.
+package a
+
+import "fmt"
+
+type workspace struct {
+	buf []int
+}
+
+// grow is the guarded-grow idiom: amortized growth behind a cap
+// comparison is legal.
+//
+//pops:noalloc
+func (w *workspace) grow(n int) {
+	if cap(w.buf) < n {
+		w.buf = make([]int, 0, n)
+	}
+	w.buf = w.buf[:0]
+}
+
+// sum is clean steady-state code.
+//
+//pops:noalloc
+func (w *workspace) sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// goodAppend reuses the workspace backing array.
+//
+//pops:noalloc
+func (w *workspace) goodAppend(xs []int) {
+	w.buf = w.buf[:0]
+	for _, x := range xs {
+		w.buf = append(w.buf, x)
+	}
+}
+
+// badMake allocates unconditionally.
+//
+//pops:noalloc
+func (w *workspace) badMake(n int) {
+	w.buf = make([]int, n) // want `make allocates`
+}
+
+// badLiteral builds a slice literal.
+//
+//pops:noalloc
+func badLiteral() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+// badMapLiteral builds a map literal.
+//
+//pops:noalloc
+func badMapLiteral() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates`
+}
+
+type pair struct{ x, y int }
+
+// badAddr takes the address of a composite literal, which escapes.
+//
+//pops:noalloc
+func badAddr() *pair {
+	return &pair{1, 2} // want `address of composite literal escapes`
+}
+
+// goodZeroStore resets workspace memory with a value literal: a plain
+// store, no allocation.
+//
+//pops:noalloc
+func (w *workspace) goodZeroStore(p *pair) {
+	*p = pair{}
+	*w = workspace{buf: w.buf[:0]}
+}
+
+// badClosure captures and escapes.
+//
+//pops:noalloc
+func badClosure(x int) func() int {
+	return func() int { return x } // want `function literal`
+}
+
+// badFmt calls into fmt.
+//
+//pops:noalloc
+func badFmt(name string) string {
+	return fmt.Sprintf("node-%s", name) // want `fmt\.Sprintf allocates`
+}
+
+// badAppend grows a fresh slice per call.
+//
+//pops:noalloc
+func badAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append to nil-declared local slice`
+	}
+	return out
+}
+
+// badConcat builds a string at runtime.
+//
+//pops:noalloc
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// badConvert copies between string and bytes.
+//
+//pops:noalloc
+func badConvert(b []byte) string {
+	return string(b) // want `string<->\[\]byte conversion`
+}
+
+// badBox passes a plain value to an interface parameter.
+//
+//pops:noalloc
+func badBox(x int) {
+	sink(x) // want `boxes the value`
+}
+
+func sink(v any) { _ = v }
+
+// unannotated functions may allocate freely.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,23 @@
+package a
+
+// coldPath opts an error path out with a justification: suppressed.
+//
+//pops:noalloc
+func coldPath(fail bool) []int {
+	if fail {
+		//popslint:ignore noalloc error path runs at most once per session, off the steady-state
+		return []int{}
+	}
+	return nil
+}
+
+// badDirective forgets the justification: the directive is reported
+// and does not suppress.
+//
+//pops:noalloc
+func badDirective() []int {
+	//popslint:ignore noalloc // want `requires a justification`
+	x := 0
+	_ = x
+	return []int{4} // want `slice literal allocates`
+}

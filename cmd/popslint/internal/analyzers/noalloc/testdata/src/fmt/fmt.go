@@ -1,0 +1,8 @@
+// Package fmt is a fixture stub standing in for the standard library
+// package of the same name: noalloc flags calls by package path, so the
+// stub only needs the signatures the fixtures use.
+package fmt
+
+func Sprintf(format string, args ...any) string { return format }
+
+func Errorf(format string, args ...any) error { return nil }

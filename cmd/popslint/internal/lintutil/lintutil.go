@@ -1,0 +1,108 @@
+// Package lintutil carries the small type- and AST-inspection helpers
+// shared by popslint's analyzers.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NamedFrom reports the named type behind t (unwrapping pointers and
+// aliases), or nil.
+func NamedFrom(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n := NamedFrom(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// HasDirective reports whether the declaration's doc comment contains
+// the //pops:<name> directive, returning its trailing text.
+func HasDirective(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	prefix := "//pops:" + name
+	for _, c := range doc.List {
+		if c.Text == prefix {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(c.Text, prefix+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes
+// (function, method, or nil for builtins, conversions and indirect
+// calls through variables).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// LookupInterface finds the named interface pkgPath.name among the
+// packages the analyzed package imports (directly or indirectly), or
+// in the package itself.
+func LookupInterface(pkg *types.Package, pkgPath, name string) *types.Interface {
+	var scope *types.Scope
+	if pkg.Path() == pkgPath {
+		scope = pkg.Scope()
+	} else {
+		for _, imp := range allImports(pkg, map[*types.Package]bool{}) {
+			if imp.Path() == pkgPath {
+				scope = imp.Scope()
+				break
+			}
+		}
+	}
+	if scope == nil {
+		return nil
+	}
+	obj, ok := scope.Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, _ := types.Unalias(obj.Type().Underlying()).(*types.Interface)
+	return iface
+}
+
+func allImports(pkg *types.Package, seen map[*types.Package]bool) []*types.Package {
+	var out []*types.Package
+	for _, imp := range pkg.Imports() {
+		if seen[imp] {
+			continue
+		}
+		seen[imp] = true
+		out = append(out, imp)
+		out = append(out, allImports(imp, seen)...)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+// Package unit implements the `go vet -vettool` driver protocol
+// (the x/tools "unitchecker" contract) on the standard library alone:
+// cmd/go hands the tool a JSON config describing one compilation unit —
+// file lists, the import map, and the export-data file of every
+// dependency — and expects diagnostics on stderr (exit 2) or a JSON
+// tree on stdout with -json. Imports are satisfied from the compiler
+// export data cmd/go already produced, via go/importer's lookup hook,
+// so no package is ever re-typechecked from source.
+//
+// popslint's analyzers are factless, so the facts output file
+// (VetxOutput) is written empty, and fact-only invocations (VetxOnly,
+// used by cmd/go for dependencies of the named packages) return
+// immediately without analyzing.
+package unit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"popslint/internal/analysis"
+)
+
+// Config is the JSON schema of the file cmd/go passes as the sole
+// positional argument (mirrors x/tools' unitchecker.Config; unused
+// fields are accepted and ignored by encoding/json).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// JSONDiagnostic is the per-finding shape of -json output (matching
+// the x/tools driver so downstream tooling can consume either).
+type JSONDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// Run processes one vet.cfg invocation and returns the process exit
+// code: 0 for success (including -json with findings), 2 when plain
+// diagnostics were reported, 1 on operational errors (which are
+// printed to stderr).
+func Run(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "popslint: %v\n", err)
+		return 1
+	}
+	// The facts file must exist for cmd/go to cache the unit; popslint
+	// has none, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "popslint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pass, err := typecheck(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "popslint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := analysis.Run(analyzers, pass)
+	if err != nil {
+		fmt.Fprintf(stderr, "popslint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if jsonOut {
+		return writeJSON(cfg, pass, diags, stdout, stderr)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", pass.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Config{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// typecheck parses the unit's files and typechecks them against the
+// export data of the already-compiled dependencies.
+func typecheck(cfg *Config) (*analysis.Pass, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// Resolve the source-level import path through the unit's map
+		// (vendoring, test variants) to the canonical path, then to the
+		// export file cmd/go compiled for it.
+		canonical, ok := cfg.ImportMap[path]
+		if !ok {
+			canonical = path
+		}
+		file, ok := cfg.PackageFile[canonical]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer:  compilerImporter,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		Error:     func(error) {}, // collect as many errors as possible; first one is returned below
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+func writeJSON(cfg *Config, pass *analysis.Pass, diags []analysis.Diagnostic, stdout, stderr io.Writer) int {
+	byAnalyzer := make(map[string][]JSONDiagnostic)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], JSONDiagnostic{
+			Posn:    pass.Fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	tree := map[string]map[string][]JSONDiagnostic{cfg.ImportPath: byAnalyzer}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(tree); err != nil {
+		fmt.Fprintf(stderr, "popslint: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -228,6 +228,38 @@ func TestDocsDurabilityCovered(t *testing.T) {
 	}
 }
 
+// TestDocsStaticAnalysisCovered pins the static-analysis surface into
+// the documentation: the architecture page must describe the popslint
+// suite (all four analyzers, the annotation and suppression grammar,
+// and the vet-tool invocation), and the README must carry the
+// developer-workflow note for running it locally.
+func TestDocsStaticAnalysisCovered(t *testing.T) {
+	requirements := map[string][]string{
+		filepath.Join("docs", "ARCHITECTURE.md"): {
+			"Static analysis", "cmd/popslint", "-vettool",
+			"mutatorepoch", "noalloc", "memokey", "nilrecorder",
+			"//pops:noalloc", "//pops:mutates", "popslint:ignore",
+			"MarkMutated", "taskKey", "boundsKey",
+		},
+		"README.md": {
+			"popslint", "-vettool", "mutatorepoch", "noalloc",
+			"memokey", "nilrecorder", "popslint:ignore",
+		},
+	}
+	for file, wants := range requirements {
+		buf, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(buf)
+		for _, want := range wants {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s no longer documents %q", file, want)
+			}
+		}
+	}
+}
+
 // mdLink matches inline markdown links; the first group is the target.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 

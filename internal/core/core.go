@@ -210,6 +210,8 @@ func (p *Protocol) OptimizePath(pa *delay.Path, tc float64) (*PathOutcome, error
 // the next round. The buffering optimizer keeps allocating its own
 // structures either way (its calls receive a workspace-free Options so
 // its internal sizing runs cannot alias the round's live results).
+//
+//pops:noalloc with a workspace every per-round copy lands in reused buffers
 func (p *Protocol) optimizePath(ws *stepWorkspace, pa *delay.Path, tc float64) (*PathOutcome, error) {
 	m := p.cfg.Model
 	opts := p.cfg.Sizing
@@ -225,7 +227,7 @@ func (p *Protocol) optimizePath(ws *stepWorkspace, pa *delay.Path, tc float64) (
 	} else {
 		tmaxPath = pa.Clone()
 		work = pa.Clone()
-		out = &PathOutcome{}
+		out = &PathOutcome{} //popslint:ignore noalloc workspace-free convenience path (OptimizePath API), not the measured loop
 	}
 	bufOpts := opts
 	bufOpts.Workspace = nil
@@ -312,6 +314,7 @@ func clonePlain(ws *stepWorkspace, pa *delay.Path) *delay.Path {
 	return pa.Clone()
 }
 
+//pops:noalloc
 func (o *PathOutcome) fill(method string, pa *delay.Path, d, a float64, buffers int, feasible bool) {
 	o.Method = method
 	o.Path = pa
@@ -408,6 +411,8 @@ func (p *Protocol) OptimizeStep(sess *sta.Session, tc float64, round int) (*Step
 // size-only round allocates nothing. The returned result is valid
 // until the next optimizeStep call with the same workspace — the
 // session loop copies what it keeps.
+//
+//pops:noalloc size-only rounds with a workspace are the measured zero-alloc path
 func (p *Protocol) optimizeStep(ws *stepWorkspace, sess *sta.Session, tc float64, round int) (*StepResult, error) {
 	m := p.cfg.Model
 	c := sess.Circuit()
@@ -420,7 +425,7 @@ func (p *Protocol) optimizeStep(ws *stepWorkspace, sess *sta.Session, tc float64
 		st = &ws.step
 		*st = StepResult{}
 	} else {
-		st = &StepResult{}
+		st = &StepResult{} //popslint:ignore noalloc workspace-free convenience path (OptimizeStep API), not the measured loop
 	}
 	st.WorstDelay = res.WorstDelay
 	if res.WorstDelay <= tc {
@@ -436,6 +441,7 @@ func (p *Protocol) optimizeStep(ws *stepWorkspace, sess *sta.Session, tc float64
 	if ws != nil {
 		ws.crit = res.AppendCriticalNodes(ws.crit)
 		if len(ws.crit) == 0 {
+			//popslint:ignore noalloc degenerate-circuit error path
 			return nil, fmt.Errorf("core: circuit %s has no critical path", c.Name)
 		}
 		name := ws.roundName(c.Name, round, p.cfg.MaxRounds)
@@ -444,10 +450,14 @@ func (p *Protocol) optimizeStep(ws *stepWorkspace, sess *sta.Session, tc float64
 		}
 		pa = &ws.path
 	} else {
+		// Workspace-free convenience path (OptimizeStep API): allocation
+		// here is expected, only the ws branch above is measured.
 		nodes := res.CriticalNodes()
 		if len(nodes) == 0 {
+			//popslint:ignore noalloc degenerate-circuit error path
 			return nil, fmt.Errorf("core: circuit %s has no critical path", c.Name)
 		}
+		//popslint:ignore noalloc workspace-free path names its round ad hoc
 		pa, err = sta.PathFromNodes(fmt.Sprintf("%s/round%d", c.Name, round), nodes, m, p.cfg.STA)
 		if err != nil {
 			return nil, err

@@ -26,6 +26,18 @@ import (
 	"repro/internal/store"
 )
 
+// taskKey indexes the result memo and, hashed through storeKeyFor, the
+// durable tier. It is a distinct type so the compiler keeps memo keys
+// apart from circuit names and the other string-shaped identifiers in
+// the engine: a taskKey is only minted by resultKey, whose circuit
+// component is a content fingerprint, never a display name (the PR-5
+// aliasing bug class, now also policed by the memokey analyzer).
+type taskKey string
+
+// boundsKey indexes the path-bounds memo: process corner plus
+// content-derived path signature.
+type boundsKey string
+
 // Cache memoizes per-process characterization artifacts. The zero
 // value is not usable; call NewCache. A Cache is safe for concurrent
 // use and is shared by all workers of an Engine.
@@ -36,14 +48,14 @@ type Cache struct {
 	// Path-bounds memo, bounded FIFO: its keys derive from
 	// client-supplied netlists, so like the result memo it must not
 	// grow without bound in a long-running daemon.
-	bounds      map[string]*boundsEntry
-	boundsOrder []string
+	bounds      map[boundsKey]*boundsEntry
+	boundsOrder []boundsKey
 
 	// Result memoization: completed optimization tasks keyed by
 	// (process, circuit fingerprint, Tc, ratio, leakage policy),
 	// bounded FIFO.
-	results     map[string]*resultEntry
-	resultOrder []string
+	results     map[taskKey]*resultEntry
+	resultOrder []taskKey
 
 	// aliases maps a suite circuit name to the canonical fingerprint
 	// of its deterministically generated netlist. Keying results by
@@ -103,8 +115,8 @@ const (
 func NewCache() *Cache {
 	return &Cache{
 		limits:  make(map[string]*limitsEntry),
-		bounds:  make(map[string]*boundsEntry),
-		results: make(map[string]*resultEntry),
+		bounds:  make(map[boundsKey]*boundsEntry),
+		results: make(map[taskKey]*resultEntry),
 		aliases: make(map[string]string),
 	}
 }
@@ -163,7 +175,7 @@ func (ca *Cache) Limits(m *delay.Model) map[gate.Type]float64 {
 // not part of the key — a cache belongs to one Engine, whose options
 // are fixed at construction.
 func (ca *Cache) Bounds(m *delay.Model, pa *delay.Path, opts sizing.Options) (tmin, tmax float64, err error) {
-	key := m.Proc.Name + "/" + PathSignature(pa)
+	key := boundsKey(m.Proc.Name + "/" + PathSignature(pa))
 	ca.mu.Lock()
 	e, ok := ca.bounds[key]
 	if !ok {
@@ -209,7 +221,7 @@ func (ca *Cache) Bounds(m *delay.Model, pa *delay.Path, opts sizing.Options) (tm
 // Waiting itself is cancellable: a waiter whose own ctx expires
 // returns immediately (releasing its pool slot) instead of blocking
 // for the duration of someone else's computation.
-func (ca *Cache) Result(ctx context.Context, key string, compute func() (*OptimizeResult, error)) (*OptimizeResult, error) {
+func (ca *Cache) Result(ctx context.Context, key taskKey, compute func() (*OptimizeResult, error)) (*OptimizeResult, error) {
 	for {
 		ca.mu.Lock()
 		e, ok := ca.results[key]
@@ -277,7 +289,7 @@ func (ca *Cache) Result(ctx context.Context, key string, compute func() (*Optimi
 
 // tierGet probes the durable tier for a memoized task, reporting
 // whether it was served. Every outcome feeds the store counters.
-func (ca *Cache) tierGet(key string) (*OptimizeResult, bool) {
+func (ca *Cache) tierGet(key taskKey) (*OptimizeResult, bool) {
 	data, err := ca.tier.Get(storeKeyFor(key))
 	if err != nil {
 		if errors.Is(err, store.ErrNotFound) {
@@ -301,7 +313,7 @@ func (ca *Cache) tierGet(key string) (*OptimizeResult, bool) {
 // tierPut writes a computed result through to the durable tier.
 // Persistence failures never fail the task — the result is already
 // latched in memory — they only count store errors.
-func (ca *Cache) tierPut(key string, res *OptimizeResult) {
+func (ca *Cache) tierPut(key taskKey, res *OptimizeResult) {
 	data, err := encodeStoredResult(res)
 	if err != nil {
 		ca.metrics.storeError()
@@ -324,20 +336,20 @@ func (ca *Cache) tierPut(key string, res *OptimizeResult) {
 // exact bit patterns. The leakage policy is part of the key only when
 // the request's flag is on, so retuning the engine-wide policy never
 // aliases dynamic-only entries.
-func resultKey(proc, circuit string, req OptimizeRequest, pol leakage.Options) string {
+func resultKey(proc, circuit string, req OptimizeRequest, pol leakage.Options) taskKey {
 	key := fmt.Sprintf("%s|%s|%x|%x", proc, circuit,
 		math.Float64bits(req.Tc), math.Float64bits(req.Ratio))
 	if !req.Leakage {
-		return key + "|dyn"
+		return taskKey(key + "|dyn")
 	}
-	return key + fmt.Sprintf("|leak|%x|%d|%d|%x|%x|%v|%d",
+	return taskKey(key + fmt.Sprintf("|leak|%x|%d|%d|%x|%x|%v|%d",
 		math.Float64bits(pol.Power.FrequencyMHz),
 		pol.Power.Vectors,
 		pol.Power.Seed,
 		math.Float64bits(pol.Power.InputActivity),
 		math.Float64bits(pol.STA.InputTau),
 		pol.CapAtSVT,
-		pol.MaxPromotions)
+		pol.MaxPromotions))
 }
 
 // PathSignature returns a stable fingerprint of a path's optimization

@@ -259,7 +259,7 @@ func TestResultMemoNotPoisonedByErrors(t *testing.T) {
 // past MaxResultEntries and old keys are recomputed after eviction.
 func TestResultMemoEviction(t *testing.T) {
 	ca := NewCache()
-	mk := func(i int) string { return fmt.Sprintf("key-%d", i) }
+	mk := func(i int) taskKey { return taskKey(fmt.Sprintf("key-%d", i)) }
 	for i := 0; i < MaxResultEntries+10; i++ {
 		if _, err := ca.Result(context.Background(), mk(i), func() (*OptimizeResult, error) {
 			return &OptimizeResult{}, nil

@@ -150,42 +150,53 @@ func newMetrics() *Metrics {
 
 // Registry exposes the underlying registry (the /metrics handler and
 // tests render it).
-func (m *Metrics) Registry() *obs.Registry { return m.reg }
+func (m *Metrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
 
 // Nil-safe event helpers: standalone caches/stores built by tests have
 // no Metrics, so every feed point goes through a method that tolerates
 // a nil receiver.
 
+//pops:noalloc
 func (m *Metrics) memoHit(family string) {
 	if m != nil {
 		m.memoHits[family].Inc()
 	}
 }
 
+//pops:noalloc
 func (m *Metrics) memoMiss(family string) {
 	if m != nil {
 		m.memoMisses[family].Inc()
 	}
 }
 
+//pops:noalloc
 func (m *Metrics) memoEvict(family string) {
 	if m != nil {
 		m.memoEvictions[family].Inc()
 	}
 }
 
+//pops:noalloc
 func (m *Metrics) storeHit() {
 	if m != nil {
 		m.storeHits.Inc()
 	}
 }
 
+//pops:noalloc
 func (m *Metrics) storeMiss() {
 	if m != nil {
 		m.storeMisses.Inc()
 	}
 }
 
+//pops:noalloc
 func (m *Metrics) storeWrite() {
 	if m != nil {
 		m.storeWrites.Inc()
@@ -195,6 +206,8 @@ func (m *Metrics) storeWrite() {
 // storeError is also the batcher's OnError hook target (popsd wires it
 // through Metrics.StoreErrorHook), so asynchronous flush failures are
 // visible on /metrics alongside synchronous ones.
+//
+//pops:noalloc
 func (m *Metrics) storeError() {
 	if m != nil {
 		m.storeErrors.Inc()
@@ -204,9 +217,13 @@ func (m *Metrics) storeError() {
 // StoreErrorHook adapts the store-error counter to the batcher's
 // OnError callback signature.
 func (m *Metrics) StoreErrorHook() func(key string, err error) {
+	if m == nil {
+		return func(string, error) {}
+	}
 	return func(string, error) { m.storeError() }
 }
 
+//pops:noalloc
 func (m *Metrics) jobFinished(kind JobKind, failed bool) {
 	if m == nil {
 		return
@@ -220,6 +237,7 @@ func (m *Metrics) jobFinished(kind JobKind, failed bool) {
 	}
 }
 
+//pops:noalloc
 func (m *Metrics) taskComputed(start time.Time) {
 	if m != nil {
 		m.tasks.Inc()
@@ -227,6 +245,7 @@ func (m *Metrics) taskComputed(start time.Time) {
 	}
 }
 
+//pops:noalloc
 func (m *Metrics) stageDone(stage string, start time.Time) {
 	if m == nil {
 		return
@@ -236,6 +255,7 @@ func (m *Metrics) stageDone(stage string, start time.Time) {
 	}
 }
 
+//pops:noalloc
 func (m *Metrics) httpServed(status int, start time.Time) {
 	if m == nil {
 		return
@@ -251,7 +271,11 @@ func (m *Metrics) httpServed(status int, start time.Time) {
 // protocolRecorder feeds core's round/stage events into the metrics.
 type protocolRecorder struct{ m *Metrics }
 
+//pops:noalloc
 func (r protocolRecorder) RoundDone(structural bool) {
+	if r.m == nil {
+		return
+	}
 	if structural {
 		r.m.roundsStructural.Inc()
 	} else {
@@ -259,7 +283,11 @@ func (r protocolRecorder) RoundDone(structural bool) {
 	}
 }
 
+//pops:noalloc
 func (r protocolRecorder) StageDone(stage string, d time.Duration) {
+	if r.m == nil {
+		return
+	}
 	if h, ok := r.m.stage[stage]; ok {
 		h.Observe(d.Seconds())
 	}
@@ -268,7 +296,11 @@ func (r protocolRecorder) StageDone(stage string, d time.Duration) {
 // sessionRecorder feeds sta session reuse events into the metrics.
 type sessionRecorder struct{ m *Metrics }
 
+//pops:noalloc
 func (r sessionRecorder) Analyzed(full bool) {
+	if r.m == nil {
+		return
+	}
 	if full {
 		r.m.staFull.Inc()
 	} else {

@@ -696,7 +696,11 @@ func (e *Env) table4One(name, domain string, ratio float64) (*Table4Row, error) 
 			return nil, err
 		}
 	}
-	rep.Collapsed = restructure.CollapseInverterPairs(c)
+	collapsed, err := restructure.CollapseInverterPairs(c)
+	if err != nil {
+		return nil, err
+	}
+	rep.Collapsed = collapsed
 
 	pa2, _, err := sta.CriticalPath(c, e.Model, e.STA)
 	if err != nil {

@@ -156,6 +156,26 @@ func (c *Circuit) BypassInverter(n *Node, pin int) (bool, error) {
 	return false, nil
 }
 
+// RewirePin moves one input pin of node n off its current driver onto
+// newDriver, maintaining the one-fanout-entry-per-pin invariant on
+// both drivers. It is the primitive rewire for callers outside this
+// package (restructuring's inverter collapse): a pin move is
+// structural, so the epoch bumps here, not at the call site.
+func (c *Circuit) RewirePin(n *Node, pin int, newDriver *Node) error {
+	if pin < 0 || pin >= len(n.Fanin) {
+		return fmt.Errorf("netlist %s: RewirePin pin %d out of range on %s", c.Name, pin, n.Name)
+	}
+	old := n.Fanin[pin]
+	if old == newDriver {
+		return nil
+	}
+	n.Fanin[pin] = newDriver
+	removeFromFanout(old, n)
+	newDriver.Fanout = append(newDriver.Fanout, n)
+	c.MarkMutated()
+	return nil
+}
+
 // removeNode unlinks a fanout-free logic node from the circuit.
 func (c *Circuit) removeNode(n *Node) {
 	for _, f := range n.Fanin {
@@ -183,6 +203,10 @@ func (c *Circuit) RemoveIfDead(n *Node) bool {
 	return true
 }
 
+// removeFromFanout drops one fanout entry of driver pointing at sink
+// (one entry per moved pin).
+//
+//pops:mutates structural helper: callers rewire in batches and own the epoch bump
 func removeFromFanout(driver, sink *Node) {
 	for i, f := range driver.Fanout {
 		if f == sink {

@@ -308,6 +308,7 @@ type TopoScratch struct {
 	next  []*Node // per-step newly-ready batch
 }
 
+//pops:noalloc buffers reused; make runs only under the cap guard
 func (s *TopoScratch) grow(idBound int) {
 	if cap(s.indeg) < idBound {
 		s.indeg = make([]int, idBound)
@@ -324,9 +325,11 @@ func (s *TopoScratch) grow(idBound int) {
 // appended to dst[:0] and the scratch buffers are reused. A nil scratch
 // allocates fresh working storage. The produced order is identical to
 // TopoOrder's (Kahn with ID tie-breaking).
+//
+//pops:noalloc steady state reuses dst and scratch capacity
 func (c *Circuit) TopoOrderInto(dst []*Node, scratch *TopoScratch) ([]*Node, error) {
 	if scratch == nil {
-		scratch = &TopoScratch{}
+		scratch = &TopoScratch{} //popslint:ignore noalloc convenience path for one-shot callers; hot callers pass their scratch
 	}
 	scratch.grow(c.nextID)
 	indeg := scratch.indeg
@@ -361,6 +364,7 @@ func (c *Circuit) TopoOrderInto(dst []*Node, scratch *TopoScratch) ([]*Node, err
 	scratch.ready = ready
 	scratch.next = next
 	if len(order) != len(c.Nodes) {
+		//popslint:ignore noalloc cycle error path, never taken on a valid circuit
 		return nil, fmt.Errorf("netlist %s: cycle detected (%d of %d nodes ordered)",
 			c.Name, len(order), len(c.Nodes))
 	}
@@ -372,6 +376,8 @@ func (c *Circuit) TopoOrderInto(dst []*Node, scratch *TopoScratch) ([]*Node, err
 // (nodes enter in creation order), and unlike sort.Slice it allocates
 // nothing — the sort's closure/swapper used to show up in re-analysis
 // allocation profiles.
+//
+//pops:noalloc
 func sortNodesByID(ns []*Node) {
 	for i := 1; i < len(ns); i++ {
 		n := ns[i]

@@ -33,9 +33,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//pops:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//pops:noalloc
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -48,15 +52,23 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//pops:noalloc
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add adds d (which may be negative).
+//
+//pops:noalloc
 func (g *Gauge) Add(d int64) { g.v.Add(d) }
 
 // Inc adds one.
+//
+//pops:noalloc
 func (g *Gauge) Inc() { g.v.Add(1) }
 
 // Dec subtracts one.
+//
+//pops:noalloc
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
 // Value returns the current value.
@@ -68,6 +80,7 @@ type atomicFloat struct {
 	bits atomic.Uint64
 }
 
+//pops:noalloc
 func (f *atomicFloat) add(v float64) {
 	for {
 		old := f.bits.Load()
@@ -112,6 +125,8 @@ func DurationBuckets() []float64 {
 }
 
 // Observe records one value.
+//
+//pops:noalloc
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

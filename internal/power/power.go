@@ -106,23 +106,6 @@ func simulate(c *netlist.Circuit, o Options) ([]*netlist.Node, []int, []int, err
 	inState := make([]bool, len(c.Inputs))
 	args := make([]uint64, 0, 8) // fan-in gather scratch, reused per gate
 
-	evalWords := func() {
-		for _, n := range order {
-			switch {
-			case n.Type == gate.Input:
-				// cur[n.ID] was packed by the caller.
-			case n.Type == gate.Output:
-				cur[n.ID] = cur[n.Fanin[0].ID]
-			default:
-				args = args[:0]
-				for _, f := range n.Fanin {
-					args = append(args, cur[f.ID])
-				}
-				cur[n.ID] = gate.EvalWord(n.Type, args)
-			}
-		}
-	}
-
 	// Initial assignment (the state "before vector 0"): broadcast each
 	// input's seed bit across the word, evaluate once, and keep only the
 	// carry bits — no counting happens for this pseudo-vector.
@@ -132,7 +115,7 @@ func simulate(c *netlist.Circuit, o Options) ([]*netlist.Node, []int, []int, err
 			cur[n.ID] = ^uint64(0)
 		}
 	}
-	evalWords()
+	args = evalWords(order, cur, args)
 	for _, n := range order {
 		carry[n.ID] = cur[n.ID] & 1
 	}
@@ -161,7 +144,7 @@ func simulate(c *netlist.Circuit, o Options) ([]*netlist.Node, []int, []int, err
 			}
 		}
 
-		evalWords()
+		args = evalWords(order, cur, args)
 		for _, n := range order {
 			w := cur[n.ID]
 			prev := (w << 1) | carry[n.ID]
@@ -171,6 +154,34 @@ func simulate(c *netlist.Circuit, o Options) ([]*netlist.Node, []int, []int, err
 		}
 	}
 	return order, toggles, highs, nil
+}
+
+// evalWords is the bit-parallel word kernel of the vector simulation:
+// one pass over the topological order, evaluating each gate on one
+// packed 64-vector word. Input words are pre-packed by the caller;
+// outputs forward their driver's word; gates gather fan-in words into
+// the reused args scratch and evaluate through gate.EvalWord. It runs
+// once per 64-vector chunk of every power profile, so its steady state
+// must not allocate; the grown scratch is returned so the caller keeps
+// the capacity across chunks.
+//
+//pops:noalloc
+func evalWords(order []*netlist.Node, cur []uint64, args []uint64) []uint64 {
+	for _, n := range order {
+		switch {
+		case n.Type == gate.Input:
+			// cur[n.ID] was packed by the caller.
+		case n.Type == gate.Output:
+			cur[n.ID] = cur[n.Fanin[0].ID]
+		default:
+			args = args[:0]
+			for _, f := range n.Fanin {
+				args = append(args, cur[f.ID])
+			}
+			cur[n.ID] = gate.EvalWord(n.Type, args)
+		}
+	}
+	return args
 }
 
 // simulateScalar is the retained scalar reference of the vector

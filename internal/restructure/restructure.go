@@ -91,7 +91,7 @@ func RewriteNOR(c *netlist.Circuit, n *netlist.Node, rep *Report) error {
 // every sink of the second inverter is rewired to the first inverter's
 // source, and dead inverters are garbage-collected. Returns the number
 // of pairs collapsed.
-func CollapseInverterPairs(c *netlist.Circuit) int {
+func CollapseInverterPairs(c *netlist.Circuit) (int, error) {
 	collapsed := 0
 	for changed := true; changed; {
 		changed = false
@@ -104,26 +104,21 @@ func CollapseInverterPairs(c *netlist.Circuit) int {
 				continue
 			}
 			src := inner[0].Fanin[0]
-			// Rewire every sink pin of n to src, maintaining the
-			// one-fanout-entry-per-pin invariant (a sink may take n
-			// on several pins, and then appears several times in the
-			// snapshot: only the first visit moves its pins).
+			// Rewire every sink pin of n to src through the netlist's
+			// own pin mutator, which keeps the one-fanout-entry-per-pin
+			// invariant and the structural epoch in step (a sink may
+			// take n on several pins, and then appears several times in
+			// the snapshot: only the first visit finds pins left to
+			// move).
 			for _, s := range append([]*netlist.Node(nil), n.Fanout...) {
-				moved := 0
 				for pin, f := range s.Fanin {
 					if f == n {
-						s.Fanin[pin] = src
-						moved++
+						if err := c.RewirePin(s, pin, src); err != nil {
+							return collapsed, err
+						}
 					}
 				}
-				for j := 0; j < moved; j++ {
-					src.Fanout = append(src.Fanout, s)
-					removeFanout(n, s)
-				}
 			}
-			// The pin moves above bypass the netlist mutators; mark the
-			// structural epoch before the dead inverters are collected.
-			c.MarkMutated()
 			first := inner[0]
 			c.RemoveIfDead(n)
 			c.RemoveIfDead(first)
@@ -131,16 +126,7 @@ func CollapseInverterPairs(c *netlist.Circuit) int {
 			changed = true
 		}
 	}
-	return collapsed
-}
-
-func removeFanout(driver, sink *netlist.Node) {
-	for i, f := range driver.Fanout {
-		if f == sink {
-			driver.Fanout = append(driver.Fanout[:i], driver.Fanout[i+1:]...)
-			return
-		}
-	}
+	return collapsed, nil
 }
 
 // RewritePathNORs rewrites every NOR-family gate among the given nodes
@@ -156,7 +142,11 @@ func RewritePathNORs(c *netlist.Circuit, nodes []*netlist.Node) (*Report, error)
 			}
 		}
 	}
-	rep.Collapsed = CollapseInverterPairs(c)
+	collapsed, err := CollapseInverterPairs(c)
+	rep.Collapsed = collapsed
+	if err != nil {
+		return rep, err
+	}
 	return rep, nil
 }
 

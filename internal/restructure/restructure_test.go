@@ -125,7 +125,10 @@ func TestCollapseInverterPairs(t *testing.T) {
 		t.Fatal(err)
 	}
 	orig := c.Clone()
-	n := CollapseInverterPairs(c)
+	n, err := CollapseInverterPairs(c)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n == 0 {
 		t.Fatal("no pair collapsed")
 	}
@@ -167,8 +170,8 @@ func TestCollapseKeepsSharedInverters(t *testing.T) {
 		t.Fatal(err)
 	}
 	orig := c.Clone()
-	if n := CollapseInverterPairs(c); n != 1 {
-		t.Fatalf("collapsed %d pairs, want 1", n)
+	if n, err := CollapseInverterPairs(c); err != nil || n != 1 {
+		t.Fatalf("collapsed %d pairs (err %v), want 1", n, err)
 	}
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)

@@ -73,13 +73,15 @@ func (s *Session) Config() Config { return s.cfg }
 // Analyze returns a Result valid for the circuit's current structural
 // epoch: the cached analysis when the structure is unchanged, a full
 // re-analysis into the session's reused buffers when it moved.
+//
+//pops:noalloc round loops call this once per step; the reuse is the point
 func (s *Session) Analyze() (*Result, error) {
 	if s.res != nil && s.res.Fresh() {
 		s.rec.Analyzed(false)
 		return s.res, nil
 	}
 	if s.res == nil {
-		s.res = &Result{Circuit: s.circuit, Model: s.model, Config: s.cfg}
+		s.res = &Result{Circuit: s.circuit, Model: s.model, Config: s.cfg} //popslint:ignore noalloc first-call lazy init; every later Analyze reuses it
 	}
 	if err := s.res.analyze(); err != nil {
 		return nil, err

@@ -96,6 +96,8 @@ func Analyze(c *netlist.Circuit, m *delay.Model, cfg Config) (*Result, error) {
 
 // grow sizes the per-ID slices for the circuit's current ID bound,
 // reusing capacity, and clears the entries.
+//
+//pops:noalloc per-ID slices grow only under the cap guard
 func (r *Result) grow() {
 	n := r.Circuit.IDBound()
 	if cap(r.timing) < n {
@@ -118,9 +120,12 @@ func (r *Result) grow() {
 
 // analyze (re)runs the full forward pass in place, reusing the
 // Result's buffers. It records the circuit's current epoch on success.
+//
+//pops:noalloc full re-analysis must land in the reused buffers
 func (r *Result) analyze() error {
 	c := r.Circuit
 	if !netlist.IsElaborated(c) {
+		//popslint:ignore noalloc precondition error path
 		return fmt.Errorf("sta: circuit %s contains composite cells; run netlist.Elaborate first", c.Name)
 	}
 	order, err := c.TopoOrderInto(r.order, &r.topo)
@@ -154,6 +159,7 @@ func (r *Result) analyze() error {
 		}
 	}
 	if r.WorstOutput == nil {
+		//popslint:ignore noalloc degenerate-circuit error path
 		return fmt.Errorf("sta: circuit %s has no primary outputs", c.Name)
 	}
 	r.epoch = c.Epoch()
@@ -163,6 +169,8 @@ func (r *Result) analyze() error {
 // analyzeGate computes the worst rise/fall arrivals of a logic node.
 // Delays and transitions honor the node's Vt class; for the default SVT
 // class the Vt-aware model delegates bit-exactly to the base model.
+//
+//pops:noalloc
 func (r *Result) analyzeGate(n *netlist.Node) {
 	cell := n.Cell()
 	cl := n.FanoutCap() + cell.Parasitic(n.CIn)
