@@ -10,6 +10,7 @@
 package pops
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http/httptest"
@@ -19,6 +20,8 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/gate"
+	"repro/internal/iscas"
+	"repro/internal/netlist"
 	"repro/internal/sta"
 )
 
@@ -462,6 +465,61 @@ func BenchmarkEngineSuite(b *testing.B) {
 					if !r.Feasible {
 						b.Fatalf("%s@%.2f infeasible", r.Circuit, r.Ratio)
 					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSuiteUncached is the memo-defeating variant of
+// BenchmarkEngineSuite: every iteration submits freshly generated
+// circuit variants (per-iteration seeds, so every fingerprint is new)
+// as inline .bench netlists, so the result memo and the bounds cache
+// miss on every cell. BenchmarkEngineSuite measures the service's
+// steady state — after iteration 1 its cells are all memo hits — while
+// this row measures raw optimization throughput; both rows are
+// recorded in BENCH_engine.json. Variant generation and serialization
+// run outside the timer.
+func BenchmarkEngineSuiteUncached(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := NewEngine(EngineConfig{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm the characterization cache outside the timed region,
+			// like BenchmarkEngineSuite.
+			if _, err := eng.Optimize(context.Background(), OptimizeRequest{Circuit: "fpd", Ratio: 2}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				benches := make([]string, 0, len(engineBenchSet))
+				for _, name := range engineBenchSet {
+					spec, err := iscas.ByName(name)
+					if err != nil {
+						b.Fatal(err)
+					}
+					spec.Seed = int64(1 + i) // unique structure per iteration
+					c, err := iscas.Generate(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var buf bytes.Buffer
+					if err := netlist.WriteBench(&buf, c); err != nil {
+						b.Fatal(err)
+					}
+					benches = append(benches, buf.String())
+				}
+				b.StartTimer()
+				res, err := eng.Suite(context.Background(),
+					SuiteRequest{Benches: benches, Ratios: engineRatios})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want := len(benches) * len(engineRatios); len(res.Rows) != want {
+					b.Fatalf("suite returned %d rows, want %d", len(res.Rows), want)
 				}
 			}
 		})

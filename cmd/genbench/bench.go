@@ -46,6 +46,7 @@ type BenchHost struct {
 	GOARCH     string `json:"goarch"`
 	CPU        string `json:"cpu,omitempty"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu,omitempty"`
 	Note       string `json:"note,omitempty"`
 	// EngineMetrics is the post-capture snapshot of a small in-process
 	// engine workload (see captureEngineMetrics): task counts and memo
@@ -76,11 +77,26 @@ func runBenchCapture(args []string) error {
 	desc := fs.String("desc", "", "description embedded in the record")
 	note := fs.String("note", "", "host note embedded in the record")
 	engineMetrics := fs.Bool("engine-metrics", true, "embed a post-run engine metrics snapshot in the host block")
+	allowSingleCore := fs.Bool("allow-single-core", false, "record anyway on a single-core host (parallel rows will be meaningless)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *out == "" || *pattern == "" {
 		return fmt.Errorf("both -out and -pattern are required")
+	}
+
+	// Single-core guard: the suite and wavefront benchmarks exist to
+	// show parallel scaling, and a 1-CPU host cannot — every workers/
+	// degree row collapses onto the serial number and the baseline
+	// silently understates multi-core builds. Refuse unless the caller
+	// explicitly owns that trade-off.
+	if runtime.NumCPU() == 1 {
+		if !*allowSingleCore {
+			return fmt.Errorf("refusing to record on a single-core host (NumCPU=1): " +
+				"parallel benchmark rows would be meaningless; pass -allow-single-core to record anyway")
+		}
+		fmt.Fprintln(os.Stderr, "genbench bench: WARNING: recording on a single-core host (NumCPU=1); "+
+			"parallelism rows measure scheduling overhead only, not speedup — re-record on a multi-core host")
 	}
 
 	// Vet gate: a baseline captured from a tree that fails vet measures
@@ -126,6 +142,7 @@ func runBenchCapture(args []string) error {
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
 			Note:       *note,
 		},
 	}

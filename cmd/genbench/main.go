@@ -9,6 +9,7 @@
 //	genbench [-out bench] [-seed 0] [name ...]
 //	genbench bench -out BENCH_x.json -pattern 'BenchmarkX' [-pkg .]
 //	         [-benchtime 3x] [-count 1] [-desc "..."] [-note "..."]
+//	         [-allow-single-core]
 //
 // With no names, the whole suite plus c17 and rca16 is exported. The
 // bench subcommand shells out to `go test -bench <pattern> -benchmem`,
@@ -19,7 +20,12 @@
 // The bench subcommand runs `go vet` on the target package before
 // benchmarking and exits with code 3 on findings — distinct from the
 // generic exit 1 — so bench harnesses fail fast on lint errors instead
-// of recording a baseline from a tree that will not survive review.
+// of recording a baseline from a tree that will not survive review. On
+// a single-core host (runtime.NumCPU() == 1) it refuses to record at
+// all — workers/parallelism rows would collapse onto the serial number
+// and silently understate multi-core builds — unless
+// -allow-single-core is passed, in which case it records under a loud
+// stderr warning and stamps num_cpu into the host block.
 package main
 
 import (

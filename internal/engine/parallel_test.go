@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"testing"
+)
+
+// TestParallelismIdenticalResults: the same request answered by a
+// serial engine and by an engine forcing intra-circuit parallelism must
+// produce byte-identical results — the invariant that keeps Parallelism
+// out of every memo key. The leakage pass rides along so the sharded
+// power simulation is exercised too.
+func TestParallelismIdenticalResults(t *testing.T) {
+	run := func(parallelism int) []byte {
+		e, err := New(Config{Workers: 2, Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Sweep(context.Background(),
+			SweepRequest{Circuit: "c880", Points: 3, Leakage: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	serial := run(1)
+	forced := run(-4) // bypass the size thresholds on this small circuit
+	if string(serial) != string(forced) {
+		t.Errorf("results diverged across parallelism degrees:\nserial: %s\nforced: %s", serial, forced)
+	}
+}
+
+// TestParallelismRequestOverride: a per-request parallelism wins over
+// the engine config, which wins over idle-capacity auto-sizing; the
+// auto degree never exceeds GOMAXPROCS.
+func TestParallelismRequestOverride(t *testing.T) {
+	e, err := New(Config{Workers: 2, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.taskParallelism(5); got != 5 {
+		t.Errorf("request override: %d, want 5", got)
+	}
+	if got := e.taskParallelism(0); got != 3 {
+		t.Errorf("config fallback: %d, want 3", got)
+	}
+	auto, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, max := auto.taskParallelism(0), runtime.GOMAXPROCS(0); got < 1 || got > max {
+		t.Errorf("auto sizing: %d, want within [1, %d]", got, max)
+	}
+}
+
+// TestParallelismWireField: the JSON field flows through every POST
+// body behind DisallowUnknownFields.
+func TestParallelismWireField(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		path string
+		body map[string]any
+	}{
+		{"/v1/optimize", map[string]any{"circuit": "fpd", "ratio": 1.5, "parallelism": 2, "wait": true}},
+		{"/v1/sweep", map[string]any{"circuit": "fpd", "points": 3, "parallelism": 2, "wait": true}},
+		{"/v1/suite", map[string]any{"benchmarks": []string{"fpd"}, "ratios": []float64{1.5}, "parallelism": 2, "wait": true}},
+	} {
+		resp, body := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s with parallelism: status %d: %v", tc.path, resp.StatusCode, body)
+		}
+	}
+}

@@ -69,15 +69,20 @@ func ByName(name string) (Spec, error) {
 
 // Load instantiates any named circuit this package can produce: a
 // generated suite benchmark ("c432", "Adder16", "fpd", …), the genuine
-// embedded "c17", or a structural ripple-carry adder ("rca16" for 16
-// bits, any width). Every call returns a fresh instance. The facade's
-// Benchmark and the batch engine's loader both resolve through here.
+// embedded "c17", a structural ripple-carry adder ("rca16" for 16
+// bits, any width), or a wide layered random-logic block ("mix50000"
+// for a ~50k-gate budget). Every call returns a fresh instance. The
+// facade's Benchmark and the batch engine's loader both resolve
+// through here.
 func Load(name string) (*netlist.Circuit, error) {
 	if name == "c17" {
 		return C17(), nil
 	}
 	if n, ok := rcaBits(name); ok {
 		return RippleCarryAdder(n)
+	}
+	if n, ok := mixGates(name); ok {
+		return MixedLogic(n)
 	}
 	spec, err := ByName(name)
 	if err != nil {
@@ -93,6 +98,9 @@ func Known(name string) bool {
 		return true
 	}
 	if _, ok := rcaBits(name); ok {
+		return true
+	}
+	if _, ok := mixGates(name); ok {
 		return true
 	}
 	_, err := ByName(name)

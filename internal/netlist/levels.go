@@ -1,0 +1,108 @@
+// Levelization: longest-path-from-inputs level assignment over the
+// dense Node.ID index space. Levels are the schedule of the wavefront
+// STA passes (internal/sta): nodes within one level share no
+// combinational dependency, so they may be evaluated concurrently, and
+// every fanout of a node sits at a strictly greater level, so a
+// reverse level walk is a valid backward-pass order.
+package netlist
+
+import "repro/internal/gate"
+
+// Levels is a levelization of a circuit. Primary inputs sit at level
+// 0, every other node one past its deepest fanin (Output pseudo-nodes
+// one past their driver), so for every edge n→s, Level[s.ID] >
+// Level[n.ID].
+type Levels struct {
+	// Level is indexed by Node.ID (dense up to the circuit's IDBound
+	// at levelization time).
+	Level []int
+	// Order holds every node bucketed by level — the nodes of level l
+	// occupy Order[Offsets[l]:Offsets[l+1]]. Within a level, nodes keep
+	// their relative topological-order position, so the bucketing is
+	// deterministic.
+	Order []*Node
+	// Offsets has len(number of levels)+1 entries delimiting Order.
+	Offsets []int
+}
+
+// Depth returns the number of levels.
+func (lv *Levels) Depth() int { return len(lv.Offsets) - 1 }
+
+// Levelize computes a fresh levelization of the circuit. The circuit
+// must be acyclic (TopoOrder's error is returned otherwise).
+func (c *Circuit) Levelize() (*Levels, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lv := &Levels{}
+	LevelsInto(lv, c, order)
+	return lv, nil
+}
+
+// LevelsInto recomputes lv in place for the circuit's current
+// structure, reusing lv's buffers — the epoch-cached session path.
+// order must be a topological order of the circuit (from
+// TopoOrder/TopoOrderInto); every node's level is then computable in
+// one forward sweep.
+//
+//pops:noalloc buffers grow only under the cap guards
+func LevelsInto(lv *Levels, c *Circuit, order []*Node) {
+	bound := c.IDBound()
+	if cap(lv.Level) < bound {
+		lv.Level = make([]int, bound)
+	}
+	lv.Level = lv.Level[:bound]
+	for i := range lv.Level {
+		lv.Level[i] = 0
+	}
+
+	depth := 0
+	for _, n := range order {
+		l := 0
+		if n.Type != gate.Input {
+			for _, d := range n.Fanin {
+				if dl := lv.Level[d.ID] + 1; dl > l {
+					l = dl
+				}
+			}
+		}
+		lv.Level[n.ID] = l
+		if l+1 > depth {
+			depth = l + 1
+		}
+	}
+
+	// Counting sort by level, preserving topological order within each
+	// bucket.
+	if cap(lv.Offsets) < depth+1 {
+		lv.Offsets = make([]int, depth+1)
+	}
+	lv.Offsets = lv.Offsets[:depth+1]
+	for i := range lv.Offsets {
+		lv.Offsets[i] = 0
+	}
+	for _, n := range order {
+		lv.Offsets[lv.Level[n.ID]+1]++
+	}
+	for l := 1; l <= depth; l++ {
+		lv.Offsets[l] += lv.Offsets[l-1]
+	}
+	if cap(lv.Order) < len(order) {
+		lv.Order = make([]*Node, len(order))
+	}
+	lv.Order = lv.Order[:len(order)]
+	// Place each node at the next free slot of its level bucket, using
+	// Offsets itself as the cursor array; every slot is written exactly
+	// once, so no clearing pass is needed.
+	for _, n := range order {
+		l := lv.Level[n.ID]
+		lv.Order[lv.Offsets[l]] = n
+		lv.Offsets[l]++
+	}
+	// Offsets[l] now holds the end of bucket l; shift back to starts.
+	for l := depth; l > 0; l-- {
+		lv.Offsets[l] = lv.Offsets[l-1]
+	}
+	lv.Offsets[0] = 0
+}

@@ -1,0 +1,150 @@
+// Package par is the intra-circuit parallelism substrate shared by the
+// timing and power kernels: a policy resolver mapping the repository's
+// Parallelism knob to a worker count, and level-synchronized /
+// fork-join executors over dense index spaces.
+//
+// The policy grammar, used by sta.Config, power.Options, core.Config
+// and the engine/CLI surface alike:
+//
+//	 0   auto — GOMAXPROCS workers, but only when the unit count
+//	     clears the caller's threshold; small problems stay serial so
+//	     the zero-allocation serial paths keep holding
+//	 1   serial (as is -1)
+//	 n>1 at most n workers, threshold still applies
+//	n<-1 force |n| workers, bypassing the threshold — the escape hatch
+//	     the byte-identity tests use to drive degree > level width on
+//	     circuits far below the production threshold
+//
+// Executors guarantee nothing about evaluation order inside a batch;
+// callers own the proof that their per-unit work is order-independent
+// (in this repository: byte-identity tests against the serial kernels).
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Degree resolves a Parallelism policy against a problem of `units`
+// independent work items and a serial-path threshold, returning the
+// number of workers to use (1 = take the serial path).
+func Degree(policy, units, threshold int) int {
+	var w int
+	switch {
+	case policy <= -2:
+		w = -policy // forced: threshold bypassed
+	case policy == 0:
+		if units < threshold {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	case policy == 1 || policy == -1:
+		return 1
+	default: // policy > 1
+		if units < threshold {
+			return 1
+		}
+		w = policy
+	}
+	if w > units {
+		w = units
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Chunk returns the half-open range of chunk i when [0, n) is split
+// into k near-equal contiguous chunks.
+func Chunk(i, k, n int) (lo, hi int) {
+	return i * n / k, (i + 1) * n / k
+}
+
+// Run invokes fn(0) … fn(k-1) concurrently — fn(k-1) on the caller's
+// goroutine — and returns when all have finished. All writes made by
+// the fn calls happen-before Run returns.
+func Run(k int, fn func(i int)) {
+	if k <= 1 {
+		if k == 1 {
+			fn(0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(k - 1)
+	for i := 0; i < k-1; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	fn(k - 1)
+	wg.Wait()
+}
+
+// Wavefront executes a levelized index space: offsets[l], offsets[l+1]
+// delimit level l of a dense ordering, levels run strictly in
+// sequence, and the items of one level run concurrently on at most
+// `workers` goroutines (the caller's included). reverse=false walks
+// levels 0..L-1, reverse=true walks L-1..0 — the backward-pass
+// direction. Levels narrower than minSpan run inline on the caller's
+// goroutine: for them the hand-off would cost more than the work.
+//
+// fn must be safe to call concurrently on disjoint [lo, hi) spans of
+// one level. The per-level join gives every level's writes a
+// happens-before edge to all later levels, and all writes
+// happen-before Wavefront returns.
+func Wavefront(workers int, offsets []int, minSpan int, reverse bool, fn func(lo, hi int)) {
+	levels := len(offsets) - 1
+	if workers <= 1 {
+		for l := 0; l < levels; l++ {
+			i := l
+			if reverse {
+				i = levels - 1 - l
+			}
+			fn(offsets[i], offsets[i+1])
+		}
+		return
+	}
+	if minSpan < 1 {
+		minSpan = 1
+	}
+	type span struct{ lo, hi int }
+	work := make(chan span, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers-1; i++ {
+		go func() {
+			for s := range work {
+				fn(s.lo, s.hi)
+				wg.Done()
+			}
+		}()
+	}
+	for l := 0; l < levels; l++ {
+		i := l
+		if reverse {
+			i = levels - 1 - l
+		}
+		lo, hi := offsets[i], offsets[i+1]
+		n := hi - lo
+		if n < 2*minSpan { // cannot fill two chunks; run inline
+			fn(lo, hi)
+			continue
+		}
+		chunks := workers
+		if max := n / minSpan; chunks > max {
+			chunks = max
+		}
+		wg.Add(chunks - 1)
+		for c := 0; c < chunks-1; c++ {
+			clo, chi := Chunk(c, chunks, n)
+			work <- span{lo + clo, lo + chi}
+		}
+		clo, chi := Chunk(chunks-1, chunks, n)
+		fn(lo+clo, lo+chi)
+		// Join the level: later levels read what this one wrote.
+		wg.Wait()
+	}
+	close(work)
+}

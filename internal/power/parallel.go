@@ -1,0 +1,200 @@
+// Sharded bit-parallel vector simulation: the word loop of simulate
+// split across goroutines by contiguous 64-vector word ranges. The
+// split preserves the serial path's two contracts exactly — the RNG
+// stream (input words are pre-drawn serially, in the historical
+// vector-major order, before any shard runs) and the toggle counts
+// (each shard threads its own carry chain and defers the one unknown
+// toggle of its first word to a serial stitch over the shard
+// boundaries) — so the counts are bit-identical to simulateScalar at
+// every degree.
+package power
+
+import (
+	"math/bits"
+	"math/rand"
+	"sync"
+
+	"repro/internal/netlist"
+	"repro/internal/par"
+)
+
+// powerShards resolves the sharding degree of one simulation. The unit
+// of work is one 64-vector word, so the Parallelism policy is resolved
+// against the word count; the auto policy additionally requires a
+// large circuit and caps the degree at words/2, so every shard
+// amortizes its boundary stitch over at least two words.
+func powerShards(o Options, words, bound int) int {
+	if o.Parallelism == 0 && bound < powerParallelMinNets {
+		return 1
+	}
+	shards := par.Degree(o.Parallelism, words, powerParallelMinWords)
+	if o.Parallelism == 0 && shards > words/2 {
+		shards = words / 2
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// shardScratch holds one worker's private simulation buffers. Scratch
+// is pooled so repeated profiles (the leakage pass, benchmark loops)
+// reuse warm per-worker buffers instead of reallocating them per call;
+// the slices grow monotonically under cap guards.
+type shardScratch struct {
+	toggles []int
+	highs   []int
+	first   []uint64 // first word's vector-0 bit per net
+	carry   []uint64 // running carry; holds the shard's carry-out at the end
+	cur     []uint64
+	args    []uint64
+}
+
+var shardPool = sync.Pool{New: func() any { return new(shardScratch) }}
+
+// grow sizes the per-net buffers for bound and clears them.
+func (st *shardScratch) grow(bound int) {
+	if cap(st.toggles) < bound {
+		st.toggles = make([]int, bound)
+		st.highs = make([]int, bound)
+		st.first = make([]uint64, bound)
+		st.carry = make([]uint64, bound)
+		st.cur = make([]uint64, bound)
+	}
+	st.toggles = st.toggles[:bound]
+	st.highs = st.highs[:bound]
+	st.first = st.first[:bound]
+	st.carry = st.carry[:bound]
+	st.cur = st.cur[:bound]
+	for i := 0; i < bound; i++ {
+		st.toggles[i] = 0
+		st.highs[i] = 0
+		st.first[i] = 0
+		st.carry[i] = 0
+		st.cur[i] = 0
+	}
+	if st.args == nil {
+		st.args = make([]uint64, 0, 8)
+	}
+}
+
+// simulateSharded is the parallel arm of simulate. Equivalence to the
+// serial word loop, per net:
+//
+//   - within a shard, words run in serial order with a private carry,
+//     so all toggles except the shard's very first boundary bit are
+//     counted exactly as the serial loop counts them;
+//   - the first word counts popcount((w XOR w<<1) AND mask AND NOT 1)
+//     — every intra-word toggle — and records bit 0 (first) and the
+//     last vector bit (carry-out);
+//   - the stitch adds first XOR carry-in per boundary, walking shards
+//     in word order from the pseudo-vector carry, which is exactly the
+//     bit-0 term popcount((w XOR (w<<1|carry)) AND mask) of the serial
+//     loop. High counts and toggle sums are integer additions, so the
+//     totals are bit-identical.
+func simulateSharded(c *netlist.Circuit, o Options, order []*netlist.Node, words, shards int) ([]*netlist.Node, []int, []int, error) {
+	rng := rand.New(rand.NewSource(o.Seed))
+	bound := c.IDBound()
+	numIn := len(c.Inputs)
+
+	toggles := make([]int, bound)
+	highs := make([]int, bound)
+	carry0 := make([]uint64, bound) // pseudo-vector carry into word 0
+	inState := make([]bool, numIn)
+
+	// Initial assignment (the state "before vector 0"), exactly as the
+	// serial path: broadcast each input's seed bit, evaluate once, keep
+	// only the carry bits.
+	cur0 := make([]uint64, bound)
+	for i, n := range c.Inputs {
+		inState[i] = rng.Intn(2) == 1
+		if inState[i] {
+			cur0[n.ID] = ^uint64(0)
+		}
+	}
+	evalWords(order, cur0, make([]uint64, 0, 8))
+	for _, n := range order {
+		carry0[n.ID] = cur0[n.ID] & 1
+	}
+
+	// Pre-draw every input word serially — word-major, vector-major
+	// inside the word — consuming the RNG draw for draw as the serial
+	// loop does. packed[w*numIn+i] is input i's word for word w.
+	packed := make([]uint64, words*numIn)
+	for w := 0; w < words; w++ {
+		nbits := o.Vectors - w*64
+		if nbits > 64 {
+			nbits = 64
+		}
+		row := packed[w*numIn : (w+1)*numIn]
+		for j := 0; j < nbits; j++ {
+			bit := uint64(1) << uint(j)
+			for i := range inState {
+				if rng.Float64() < o.InputActivity {
+					inState[i] = !inState[i]
+				}
+				if inState[i] {
+					row[i] |= bit
+				}
+			}
+		}
+	}
+
+	states := make([]*shardScratch, shards)
+	par.Run(shards, func(s int) {
+		st := shardPool.Get().(*shardScratch)
+		st.grow(bound)
+		states[s] = st
+		w0, w1 := par.Chunk(s, shards, words)
+		for w := w0; w < w1; w++ {
+			nbits := o.Vectors - w*64
+			if nbits > 64 {
+				nbits = 64
+			}
+			mask := ^uint64(0) >> (64 - uint(nbits))
+			row := packed[w*numIn : w*numIn+numIn]
+			for i, n := range c.Inputs {
+				st.cur[n.ID] = row[i]
+			}
+			st.args = evalWords(order, st.cur, st.args)
+			if w == w0 {
+				for _, n := range order {
+					v := st.cur[n.ID]
+					// Bit 0 compares against the previous shard's last
+					// vector, unknown here; mask it out and record the
+					// operands for the serial stitch.
+					st.toggles[n.ID] += bits.OnesCount64((v ^ (v << 1)) & mask &^ 1)
+					st.highs[n.ID] += bits.OnesCount64(v & mask)
+					st.first[n.ID] = v & 1
+					st.carry[n.ID] = (v >> uint(nbits-1)) & 1
+				}
+				continue
+			}
+			for _, n := range order {
+				v := st.cur[n.ID]
+				prev := (v << 1) | st.carry[n.ID]
+				st.toggles[n.ID] += bits.OnesCount64((v ^ prev) & mask)
+				st.highs[n.ID] += bits.OnesCount64(v & mask)
+				st.carry[n.ID] = (v >> uint(nbits-1)) & 1
+			}
+		}
+	})
+
+	// Serial stitch over the shard boundaries, walking shards in word
+	// order per net.
+	for _, n := range order {
+		cin := carry0[n.ID]
+		t, h := 0, 0
+		for _, st := range states {
+			t += st.toggles[n.ID] + int(st.first[n.ID]^cin)
+			h += st.highs[n.ID]
+			cin = st.carry[n.ID]
+		}
+		toggles[n.ID] = t
+		highs[n.ID] = h
+	}
+	for _, st := range states {
+		shardPool.Put(st)
+	}
+	return order, toggles, highs, nil
+}

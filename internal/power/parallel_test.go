@@ -1,0 +1,130 @@
+package power
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/iscas"
+)
+
+// checkShardedEquivalence pins the sharded word loop against both
+// references: the serial bit-parallel path (Parallelism: 1) and the
+// scalar loop. Counts must match exactly — the sharded path's whole
+// contract is bit identity at every degree.
+func checkShardedEquivalence(t *testing.T, name string, opts Options, degrees []int) {
+	t.Helper()
+	c, err := iscas.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := opts
+	serial.Parallelism = 1
+	o := serial.withDefaults()
+	order, refTog, refHigh, err := simulate(c, o)
+	if err != nil {
+		t.Fatalf("%s serial: %v", name, err)
+	}
+	_, scalarTog, scalarHigh, err := simulateScalar(c, o)
+	if err != nil {
+		t.Fatalf("%s scalar: %v", name, err)
+	}
+	for _, n := range order {
+		if refTog[n.ID] != scalarTog[n] || refHigh[n.ID] != scalarHigh[n] {
+			t.Fatalf("%s: serial bit-parallel diverged from scalar at %s", name, n.Name)
+		}
+	}
+	for _, deg := range degrees {
+		po := o
+		po.Parallelism = deg
+		_, tog, high, err := simulate(c, po)
+		if err != nil {
+			t.Fatalf("%s deg=%d: %v", name, deg, err)
+		}
+		for _, n := range order {
+			if tog[n.ID] != refTog[n.ID] {
+				t.Errorf("%s deg=%d vectors=%d: net %s toggles %d != %d",
+					name, deg, o.Vectors, n.Name, tog[n.ID], refTog[n.ID])
+			}
+			if high[n.ID] != refHigh[n.ID] {
+				t.Errorf("%s deg=%d vectors=%d: net %s highs %d != %d",
+					name, deg, o.Vectors, n.Name, high[n.ID], refHigh[n.ID])
+			}
+		}
+	}
+}
+
+// TestShardedMatchesSerial sweeps ragged vector counts (partial tail
+// words, counts below one word per shard) × forced and bounded degrees,
+// including degrees beyond the word count, on circuits below the
+// auto-policy net threshold — the forced negative degrees are the only
+// way these shard at all, which is exactly what the escape hatch is
+// for.
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, vectors := range []int{64, 100, 512, 1000, 2048} {
+		for _, name := range []string{"fpd", "c432", "c880"} {
+			t.Run(fmt.Sprintf("%s/v=%d", name, vectors), func(t *testing.T) {
+				checkShardedEquivalence(t, name, Options{Vectors: vectors, Seed: 3, InputActivity: 0.4},
+					[]int{-2, -3, -7, -64, 2, 4})
+			})
+		}
+	}
+}
+
+// TestShardedMatchesSerialLarge runs the auto policy on a design above
+// the net threshold, where production leakage runs actually shard.
+func TestShardedMatchesSerialLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-gate design; skipped with -short")
+	}
+	checkShardedEquivalence(t, "mix50000", Options{Vectors: 512}, []int{0, -4, 3})
+}
+
+// TestSmallSimulationStaysSerial pins the auto-policy thresholds: a
+// classic-suite circuit (or a one-word run) must not shard even with
+// parallelism requested globally, keeping the historical serial path —
+// and its allocation profile — for every small simulation.
+func TestSmallSimulationStaysSerial(t *testing.T) {
+	o := Options{Vectors: 512}.withDefaults()
+	c, err := iscas.Load("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := powerShards(o, 8, c.IDBound()); got != 1 {
+		t.Errorf("c880 auto: %d shards, want 1 (below net threshold)", got)
+	}
+	big := Options{Vectors: 64, Parallelism: 4}.withDefaults()
+	if got := powerShards(big, 1, 100000); got != 1 {
+		t.Errorf("one-word run: %d shards, want 1 (below word threshold)", got)
+	}
+	forced := Options{Vectors: 128, Parallelism: -2}.withDefaults()
+	if got := powerShards(forced, 2, 10); got != 2 {
+		t.Errorf("forced degree: %d shards, want 2", got)
+	}
+}
+
+// BenchmarkParallelPower measures the sharded word loop on the 50k-gate
+// wide design at 2048 vectors (32 words), per forced degree. On a
+// single-core host every row collapses onto serial time plus the
+// fork/join and stitch overhead.
+func BenchmarkParallelPower(b *testing.B) {
+	c, err := iscas.Load("mix50000")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{Vectors: 2048}
+	for _, shards := range []int{1, 2, 4, 8} {
+		o := opts
+		o.Parallelism = -shards
+		if shards == 1 {
+			o.Parallelism = 1
+		}
+		b.Run(fmt.Sprintf("mix50000/shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SimulateProfile(c, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -61,6 +61,18 @@ func (s *Session) SetRecorder(r Recorder) {
 	s.rec = r
 }
 
+// SetParallelism installs an intra-circuit parallelism policy (see
+// Config.Parallelism) on the session and its live analysis state. The
+// engine calls it per task, sizing the degree from idle pool capacity;
+// the knob never changes any analysis bit, so it is safe to flip
+// between rounds.
+func (s *Session) SetParallelism(n int) {
+	s.cfg.Parallelism = n
+	if s.res != nil {
+		s.res.Config.Parallelism = n
+	}
+}
+
 // Circuit returns the circuit under analysis.
 func (s *Session) Circuit() *netlist.Circuit { return s.circuit }
 
