@@ -1,0 +1,192 @@
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// The -ignores mode makes the suppression surface auditable: every
+// //popslint:ignore in the tree is a finding someone argued out of,
+// and arguments rot. The mode lists each directive with its location,
+// analyzer, and justification; with -budget it compares the tree
+// against a checked-in budget file so suppressions cannot accumulate
+// silently — adding one is a reviewed diff of ignores_budget.txt, not
+// a drive-by comment.
+
+// ignoreDirective is one //popslint:ignore found in the tree.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+// budgetLine is the directive's stable form: no line number, so code
+// motion doesn't churn the budget, only adding or removing a
+// suppression does.
+func (d ignoreDirective) budgetLine() string {
+	return d.file + "\t" + d.analyzer + "\t" + d.reason
+}
+
+var ignoreRe = regexp.MustCompile(`^//popslint:ignore\s+(\S+)\s*(.*)`)
+
+// runIgnores lists the tree's directives; with a budget path it
+// instead diffs against the budget and fails on drift.
+func runIgnores(dirs []string, budgetPath string, w io.Writer) int {
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	var found []ignoreDirective
+	for _, dir := range dirs {
+		ds, err := scanIgnores(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "popslint:", err)
+			return 1
+		}
+		found = append(found, ds...)
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].file != found[j].file {
+			return found[i].file < found[j].file
+		}
+		return found[i].line < found[j].line
+	})
+
+	if budgetPath == "" {
+		for _, d := range found {
+			fmt.Fprintf(w, "%s:%d:\t%s\t%s\n", d.file, d.line, d.analyzer, d.reason)
+		}
+		fmt.Fprintf(w, "%d suppression(s)\n", len(found))
+		return 0
+	}
+
+	budget, err := readBudget(budgetPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "popslint:", err)
+		return 1
+	}
+	var lines []string
+	for _, d := range found {
+		lines = append(lines, d.budgetLine())
+	}
+	sort.Strings(lines)
+	added, removed := diffMultisets(lines, budget)
+	if len(added) == 0 && len(removed) == 0 {
+		fmt.Fprintf(w, "suppressions match budget (%d)\n", len(lines))
+		return 0
+	}
+	for _, l := range added {
+		fmt.Fprintf(w, "over budget (new suppression, add to %s if reviewed):\n  +%s\n", budgetPath, l)
+	}
+	for _, l := range removed {
+		fmt.Fprintf(w, "stale budget entry (suppression removed, delete from %s):\n  -%s\n", budgetPath, l)
+	}
+	return 1
+}
+
+// scanIgnores walks one directory tree for Go files and collects
+// their directives. testdata trees are skipped: fixtures suppress on
+// purpose, as test material.
+func scanIgnores(root string) ([]ignoreDirective, error) {
+	var out []ignoreDirective
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" || d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		ds, err := fileIgnores(path)
+		if err != nil {
+			return err
+		}
+		out = append(out, ds...)
+		return nil
+	})
+	return out, err
+}
+
+// fileIgnores parses one file's comments for directives. Going
+// through the parser (not a line scan) keeps string literals that
+// merely mention the grammar out of the listing.
+func fileIgnores(path string) ([]ignoreDirective, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := ignoreRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			reason := m[2]
+			if i := strings.Index(reason, "//"); i >= 0 {
+				reason = reason[:i]
+			}
+			out = append(out, ignoreDirective{
+				file:     filepath.ToSlash(filepath.Clean(path)),
+				line:     fset.Position(c.Pos()).Line,
+				analyzer: m[1],
+				reason:   strings.TrimSpace(reason),
+			})
+		}
+	}
+	return out, nil
+}
+
+// readBudget loads the budget file: one tab-separated entry per line,
+// blank lines and # comments free.
+func readBudget(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// diffMultisets compares two sorted string multisets.
+func diffMultisets(have, want []string) (added, removed []string) {
+	i, j := 0, 0
+	for i < len(have) && j < len(want) {
+		switch {
+		case have[i] == want[j]:
+			i++
+			j++
+		case have[i] < want[j]:
+			added = append(added, have[i])
+			i++
+		default:
+			removed = append(removed, want[j])
+			j++
+		}
+	}
+	added = append(added, have[i:]...)
+	removed = append(removed, want[j:]...)
+	return added, removed
+}

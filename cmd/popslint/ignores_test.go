@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a throwaway source tree for the scanner.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const treeA = `package a
+
+func f() int {
+	//popslint:ignore noalloc error path runs once
+	return 1
+}
+
+func g() int {
+	x := 2 //popslint:ignore maporder trailing form, reviewed
+	return x
+}
+`
+
+const treeB = `package b
+
+// A doc comment that merely mentions the //popslint:ignore grammar
+// is not a directive, and neither is this string:
+var doc = "//popslint:ignore fake not real"
+`
+
+const treeFixture = `package fx
+
+func h() {
+	//popslint:ignore noalloc fixtures do not count against the budget
+}
+`
+
+func TestIgnoresListing(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go":           treeA,
+		"b/b.go":           treeB,
+		"b/testdata/fx.go": treeFixture,
+	})
+	var out bytes.Buffer
+	if code := runIgnores([]string{root}, "", &out); code != 0 {
+		t.Fatalf("runIgnores = %d, want 0\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"noalloc\terror path runs once",
+		"maporder\ttrailing form, reviewed",
+		"2 suppression(s)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("listing missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "fake") || strings.Contains(got, "fixtures") {
+		t.Errorf("listing includes non-directives or testdata:\n%s", got)
+	}
+}
+
+func TestIgnoresBudget(t *testing.T) {
+	root := writeTree(t, map[string]string{"a/a.go": treeA})
+	rel := func(p string) string { return filepath.ToSlash(filepath.Join(root, p)) }
+
+	matching := "# reviewed suppressions\n" +
+		rel("a/a.go") + "\tnoalloc\terror path runs once\n" +
+		rel("a/a.go") + "\tmaporder\ttrailing form, reviewed\n"
+	budget := filepath.Join(root, "budget.txt")
+	if err := os.WriteFile(budget, []byte(matching), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := runIgnores([]string{root}, budget, &out); code != 0 {
+		t.Fatalf("matching budget: runIgnores = %d, want 0\n%s", code, out.String())
+	}
+
+	// A new suppression in the tree must fail the diff.
+	short := rel("a/a.go") + "\tnoalloc\terror path runs once\n"
+	if err := os.WriteFile(budget, []byte(short), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := runIgnores([]string{root}, budget, &out); code != 1 {
+		t.Fatalf("over budget: runIgnores = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "over budget") {
+		t.Errorf("missing over-budget report:\n%s", out.String())
+	}
+
+	// A stale budget entry (suppression since removed) also fails.
+	stale := matching + rel("a/a.go") + "\tlocksafe\tgone from the tree\n"
+	if err := os.WriteFile(budget, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := runIgnores([]string{root}, budget, &out); code != 1 {
+		t.Fatalf("stale budget: runIgnores = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "stale budget entry") {
+		t.Errorf("missing stale-entry report:\n%s", out.String())
+	}
+}

@@ -1,0 +1,11 @@
+package locksafe
+
+import (
+	"testing"
+
+	"popslint/internal/analysistest"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, Analyzer, "repro/internal/store", "repro/internal/engine")
+}

@@ -1,0 +1,79 @@
+// Package engine exercises locksafe across the cache's loop-with-
+// lock-handoff shape and the tier boundary.
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/store"
+)
+
+type entry struct {
+	done chan struct{}
+	res  []byte
+}
+
+type Cache struct {
+	mu      sync.Mutex
+	results map[string]*entry
+	tier    store.Store
+}
+
+// resultLoop is the Cache.Result idiom: break exits the loop with the
+// lock deliberately held, the unlock follows after the loop, and the
+// blocking select happens only on unlocked paths. Nothing is flagged.
+func (ca *Cache) resultLoop(key string, compute func() []byte) []byte {
+	for {
+		ca.mu.Lock()
+		e, ok := ca.results[key]
+		if !ok {
+			break // compute it ourselves, mu still held
+		}
+		ca.mu.Unlock()
+		<-e.done
+		if e.res != nil {
+			return e.res
+		}
+	}
+	e := &entry{done: make(chan struct{})}
+	ca.results[key] = e
+	ca.mu.Unlock()
+	e.res = compute()
+	close(e.done)
+	return e.res
+}
+
+// tierProbeHeld probes the durable tier under the memo lock.
+func (ca *Cache) tierProbeHeld(key string) ([]byte, error) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.tier.Get(key) // want `store call Get while holding ca\.mu`
+}
+
+// tierProbeUnlocked is the correct shape: the memo lock bounds the
+// map access, the tier call happens outside it.
+func (ca *Cache) tierProbeUnlocked(key string) ([]byte, error) {
+	if e, ok := ca.lookup(key); ok {
+		return e.res, nil
+	}
+	return ca.tier.Get(key)
+}
+
+func (ca *Cache) lookup(key string) (*entry, bool) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	e, ok := ca.results[key]
+	return e, ok
+}
+
+// leakInLoop returns out of a range with the lock held.
+func (ca *Cache) leakInLoop(keys []string) *entry {
+	ca.mu.Lock()
+	for _, k := range keys {
+		if e, ok := ca.results[k]; ok {
+			return e // want `ca\.mu is locked but not released on this return path`
+		}
+	}
+	ca.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,6 @@
+// Package time is a fixture mirror of the sleep shape.
+package time
+
+type Duration int64
+
+func Sleep(d Duration) {}

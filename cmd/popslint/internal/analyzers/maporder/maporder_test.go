@@ -1,0 +1,11 @@
+package maporder
+
+import (
+	"testing"
+
+	"popslint/internal/analysistest"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, Analyzer, "repro/internal/store", "repro/internal/report")
+}

@@ -1,0 +1,19 @@
+// Package report is outside maporder's result-affecting scope: the
+// same shuffle-leaking shapes stay silent here.
+package report
+
+func scanUnsorted(m map[string][]byte) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,102 @@
+// Package store exercises maporder in a result-affecting package.
+package store
+
+import "sort"
+
+// scanSorted is the blessed collect-then-sort idiom: silent.
+func scanSorted(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// scanUnsorted leaks the shuffle straight into the returned slice.
+func scanUnsorted(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration without a later sort`
+	}
+	return keys
+}
+
+// sumFloats makes the rounding sequence follow the shuffle.
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `floating-point accumulation into total inside map iteration`
+	}
+	return total
+}
+
+// joinKeys concatenates in shuffle order.
+func joinKeys(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation into s inside map iteration`
+	}
+	return s
+}
+
+// firstOver returns whichever qualifying element the shuffle visits
+// first.
+func firstOver(m map[string]int, limit int) (string, int) {
+	for k, v := range m {
+		if v > limit {
+			return k, v // want `return inside map iteration carries the iteration variables`
+		}
+	}
+	return "", 0
+}
+
+// lastWriter keeps whichever element the shuffle visits last.
+func lastWriter(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want `assignment to last from the iteration variables inside map iteration`
+	}
+	return last
+}
+
+// orderIndependent shows every exempt effect: map-to-map transfer,
+// delete, integer counting, and flag setting.
+func orderIndependent(m map[string]int, drop string) (map[string]int, int, bool) {
+	out := make(map[string]int, len(m))
+	n := 0
+	seen := false
+	for k, v := range m {
+		out[k] = v
+		n += v
+		n++
+		if k == drop {
+			seen = true
+		}
+		delete(m, k)
+	}
+	return out, n, seen
+}
+
+// annotated carries a reviewed order-independence invariant.
+func annotated(m map[string]float64) float64 {
+	worst := 0.0
+	//pops:orderindep max over strict comparison; ties carry equal values, no element wins
+	for _, v := range m {
+		if v > worst {
+			worst = v // still an order-dependent shape, but the annotation vouches for it
+		}
+	}
+	return worst
+}
+
+// bareAnnotation forgets the reason: the directive itself is reported
+// and does not suppress.
+func bareAnnotation(m map[string]int) string {
+	var last string
+	//pops:orderindep // want `//pops:orderindep requires a reason`
+	for k := range m {
+		last = k // want `assignment to last from the iteration variables inside map iteration`
+	}
+	return last
+}

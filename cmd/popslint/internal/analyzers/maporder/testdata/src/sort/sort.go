@@ -1,0 +1,6 @@
+// Package sort is a fixture mirror of the determinizer shapes.
+package sort
+
+func Strings(x []string)                            {}
+func Ints(x []int)                                  {}
+func Slice(x interface{}, less func(i, j int) bool) {}

@@ -1,0 +1,272 @@
+// Package parcapture enforces the write-disjointness contract of the
+// intra-circuit parallel kernels (the PR-9 byte-identity design):
+// a closure handed to internal/par's executors (par.Run, par.Wavefront)
+// runs concurrently with its siblings, so it may write only
+//
+//   - its own locals and parameters (per-worker private state), and
+//   - elements of captured slices addressed through an index derived
+//     from the closure's own parameters or locals — the chunk-bounds
+//     idiom (states[s], r.timing[n.ID] with n ranging over the chunk)
+//     whose disjointness the byte-identity tests then prove.
+//
+// Everything else a closure captures is shared between workers, and a
+// write to it is a data race or — worse for this repository — a
+// scheduling-order dependence that silently breaks the "byte-identical
+// to serial at every degree" contract. The analyzer flags, inside any
+// function literal passed to a par executor:
+//
+//   - writes (assign, op-assign, ++/--) to captured scalars and fields,
+//     including writes through slice elements addressed by a captured
+//     or constant index — every worker would hit the same element;
+//   - writes to or deletes from captured maps, at any key: map access
+//     is not safe under concurrent writers at all;
+//   - append whose first argument is a captured slice: append may
+//     reallocate or extend shared backing storage under a sibling's
+//     feet;
+//   - floating-point accumulation (+=, -=, *=, /=) into captured
+//     state: even were it synchronized, scheduling order would change
+//     the rounding sequence. Reductions must be buffered per chunk and
+//     replayed in serial order, the way sta.Session.Analyze's worst-
+//     output scan and power's boundary stitch do.
+//
+// The analyzer is intraprocedural by design: method calls made from
+// the closure (r.analyzeGate(n), st.grow(bound)) are not traced. The
+// dynamic twin — byte-identity stress tests at forced degrees under
+// -race — covers what this approximation cannot see.
+package parcapture
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"popslint/internal/analysis"
+	"popslint/internal/lintutil"
+)
+
+// ParPath is the package whose executors take the audited closures.
+const ParPath = "repro/internal/par"
+
+// executors are the par functions whose func-literal arguments run
+// concurrently.
+var executors = map[string]bool{"Run": true, "Wavefront": true}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "parcapture",
+	Doc:  "closures passed to par.Run/par.Wavefront may write only locals or index-disjoint slice elements derived from the chunk bounds",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || pass.InTestFile(call.Pos()) {
+				return true
+			}
+			callee := lintutil.CalleeFunc(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil ||
+				callee.Pkg().Path() != ParPath || !executors[callee.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkClosure(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkClosure audits one worker-body literal.
+func checkClosure(pass *analysis.Pass, lit *ast.FuncLit) {
+	c := &closure{pass: pass, lit: lit}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				c.checkWrite(lhs, st.Tok, rhsFor(st, i))
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(st.X, st.Tok, nil)
+		case *ast.CallExpr:
+			c.checkBuiltinCall(st)
+		}
+		return true
+	})
+}
+
+func rhsFor(st *ast.AssignStmt, i int) ast.Expr {
+	if i < len(st.Rhs) {
+		return st.Rhs[i]
+	}
+	return nil
+}
+
+type closure struct {
+	pass *analysis.Pass
+	lit  *ast.FuncLit
+}
+
+// declaredInside reports whether the object's declaration lies within
+// the closure literal (parameter or local): writes to those are the
+// worker's private business.
+func (c *closure) declaredInside(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	pos := obj.Pos()
+	return pos >= c.lit.Pos() && pos <= c.lit.End()
+}
+
+// rootObject resolves the variable at the base of an lvalue chain
+// (x, x.f, x.f[i].g → x) and reports whether any index on the path was
+// a slice/array index (map indexes are handled separately).
+func (c *closure) rootObject(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return c.pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkWrite applies the capture rules to one write target.
+func (c *closure) checkWrite(lhs ast.Expr, tok token.Token, rhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+
+	// Element writes: x[i] = v (possibly behind field selectors).
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		baseType := c.pass.TypesInfo.TypeOf(ix.X)
+		if baseType != nil {
+			switch types.Unalias(baseType).Underlying().(type) {
+			case *types.Map:
+				if root := c.rootObject(ix.X); root != nil && !c.declaredInside(root) {
+					c.pass.Reportf(lhs.Pos(),
+						"write to captured map %s inside a par worker closure: maps are unsafe under concurrent writers; build per-chunk results and merge serially",
+						types.ExprString(ix.X))
+				}
+				return
+			case *types.Slice, *types.Array, *types.Pointer:
+				root := c.rootObject(ix.X)
+				if root == nil || c.declaredInside(root) {
+					return // private backing storage
+				}
+				if c.indexIsChunkDerived(ix.Index) {
+					c.checkFloatAccum(lhs, tok, "element of captured "+types.ExprString(ix.X))
+					return
+				}
+				c.pass.Reportf(lhs.Pos(),
+					"write to captured %s at an index not derived from the worker's chunk bounds: sibling workers may address the same element",
+					types.ExprString(ix.X))
+				return
+			}
+		}
+	}
+
+	// Plain identifier / field / dereference writes.
+	root := c.rootObject(lhs)
+	if root == nil || c.declaredInside(root) {
+		return
+	}
+	if c.checkFloatAccum(lhs, tok, "captured "+types.ExprString(lhs)) {
+		return
+	}
+	c.pass.Reportf(lhs.Pos(),
+		"write to captured %s inside a par worker closure: workers may write only their own locals or index-disjoint slice elements (buffer per chunk, reduce in serial order)",
+		types.ExprString(lhs))
+	_ = rhs
+}
+
+// checkFloatAccum reports the dedicated diagnostic for floating-point
+// compound accumulation into shared state; it returns true when it
+// reported (the caller then skips the generic message).
+func (c *closure) checkFloatAccum(lhs ast.Expr, tok token.Token, what string) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return false
+	}
+	t := c.pass.TypesInfo.TypeOf(lhs)
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return false
+	}
+	c.pass.Reportf(lhs.Pos(),
+		"floating-point accumulation into %s inside a par worker closure: scheduling order changes the rounding sequence; buffer per chunk and replay the reduction in serial order (as sta.Session.Analyze does)",
+		what)
+	return true
+}
+
+// indexIsChunkDerived reports whether the index expression mentions at
+// least one variable declared inside the closure — the chunk-bounds
+// derivation (s, lo+i, n.ID with n a range variable over the chunk).
+// A constant or fully captured index means every worker addresses the
+// same element.
+func (c *closure) indexIsChunkDerived(index ast.Expr) bool {
+	derived := false
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar && c.declaredInside(obj) {
+				derived = true
+			}
+		}
+		return true
+	})
+	return derived
+}
+
+// checkBuiltinCall flags append on captured slices and delete on
+// captured maps.
+func (c *closure) checkBuiltinCall(call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	if !ok {
+		return
+	}
+	switch b.Name() {
+	case "append":
+		if len(call.Args) == 0 {
+			return
+		}
+		root := c.rootObject(call.Args[0])
+		if root != nil && !c.declaredInside(root) {
+			c.pass.Reportf(call.Pos(),
+				"append to captured slice %s inside a par worker closure: append may reallocate or extend shared backing storage; collect per-chunk and join serially",
+				types.ExprString(call.Args[0]))
+		}
+	case "delete":
+		if len(call.Args) != 2 {
+			return
+		}
+		root := c.rootObject(call.Args[0])
+		if root != nil && !c.declaredInside(root) {
+			c.pass.Reportf(call.Pos(),
+				"delete from captured map %s inside a par worker closure: maps are unsafe under concurrent writers",
+				types.ExprString(call.Args[0]))
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package parcapture
+
+import (
+	"testing"
+
+	"popslint/internal/analysistest"
+)
+
+func TestParcapture(t *testing.T) {
+	analysistest.Run(t, Analyzer, "a")
+}

@@ -1,0 +1,114 @@
+// Package a exercises parcapture: worker closures may write only
+// their own locals or chunk-derived slice elements.
+package a
+
+import "repro/internal/par"
+
+// disjointWrites is the blessed PR-9 shape: every write lands in a
+// captured slice at an index derived from the worker's own chunk
+// bounds, and the reduction happens serially after Run returns.
+func disjointWrites(vals []float64, n int) float64 {
+	out := make([]float64, n)
+	k := 4
+	par.Run(k, func(i int) {
+		lo, hi := par.Chunk(i, k, n)
+		sum := 0.0 // worker-local accumulator: fine
+		for j := lo; j < hi; j++ {
+			sum += vals[j]
+			out[j] = vals[j] * 2 // chunk-derived index: fine
+		}
+		out[lo] = sum // still chunk-derived: fine
+	})
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}
+
+// capturedScalar races every worker on one shared variable.
+func capturedScalar(n int) int {
+	count := 0
+	par.Run(4, func(i int) {
+		count = i // want `write to captured count inside a par worker closure`
+		count++   // want `write to captured count inside a par worker closure`
+	})
+	return count
+}
+
+// sharedFloatAccum is the worst kind: even synchronized, the rounding
+// order would depend on scheduling.
+func sharedFloatAccum(vals []float64) float64 {
+	total := 0.0
+	k := 4
+	par.Run(k, func(i int) {
+		lo, hi := par.Chunk(i, k, len(vals))
+		for j := lo; j < hi; j++ {
+			total += vals[j] // want `floating-point accumulation into captured total`
+		}
+	})
+	return total
+}
+
+// capturedMap writes a shared map from every worker.
+func capturedMap(keys []string) map[string]int {
+	m := map[string]int{}
+	par.Run(2, func(i int) {
+		m[keys[i]] = i // want `write to captured map m`
+		delete(m, "x") // want `delete from captured map m`
+	})
+	return m
+}
+
+// capturedAppend grows a shared slice concurrently.
+func capturedAppend(n int) []int {
+	var out []int
+	par.Run(2, func(i int) {
+		out = append(out, i) // want `append to captured slice out` `write to captured out`
+	})
+	return out
+}
+
+// fixedIndex writes a captured slice at an index every worker shares.
+func fixedIndex(out []float64) {
+	par.Wavefront(2, []int{0, 1, 2}, 1, false, func(lo, hi int) {
+		out[0] = 1 // want `write to captured out at an index not derived from the worker's chunk bounds`
+	})
+}
+
+// fieldElement mirrors sta's r.timing[n.ID] shape: an element of a
+// captured struct field addressed by a loop variable over the span.
+type result struct {
+	timing []float64
+	worst  float64
+}
+
+func (r *result) analyze(offsets []int) {
+	par.Wavefront(2, offsets, 1, false, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			r.timing[j] = float64(j) // chunk-derived: fine
+		}
+	})
+	for _, t := range r.timing {
+		if t > r.worst {
+			r.worst = t // serial reduction after the barrier: fine
+		}
+	}
+}
+
+// fieldScalar writes a captured struct field shared by all workers.
+func (r *result) bad(offsets []int) {
+	par.Wavefront(2, offsets, 1, false, func(lo, hi int) {
+		r.worst = float64(hi) // want `write to captured r\.worst inside a par worker closure`
+	})
+}
+
+// serialClosure is not passed to an executor, so nothing is flagged.
+func serialClosure(n int) int {
+	count := 0
+	walk := func(i int) { count += i }
+	for i := 0; i < n; i++ {
+		walk(i)
+	}
+	return count
+}

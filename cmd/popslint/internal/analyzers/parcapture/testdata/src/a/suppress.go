@@ -1,0 +1,31 @@
+package a
+
+import (
+	"repro/internal/par"
+	"sync"
+)
+
+// externallySynced shows the escape hatch: a captured counter guarded
+// by a mutex, justified and suppressed. (The repository proper avoids
+// this shape — suppressions are budgeted.)
+func externallySynced(n int) int {
+	var mu sync.Mutex
+	count := 0
+	par.Run(2, func(i int) {
+		mu.Lock()
+		//popslint:ignore parcapture progress counter guarded by mu, not result-affecting
+		count++
+		mu.Unlock()
+	})
+	return count
+}
+
+// missingReason keeps the finding and reports the bare directive.
+func missingReason(n int) int {
+	count := 0
+	par.Run(2, func(i int) {
+		//popslint:ignore parcapture // want `requires a justification`
+		count = i // want `write to captured count`
+	})
+	return count
+}

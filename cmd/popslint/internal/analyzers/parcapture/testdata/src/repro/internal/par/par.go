@@ -1,0 +1,11 @@
+// Package par is a fixture mirror of the executor signatures the
+// analyzer keys on.
+package par
+
+func Chunk(i, k, n int) (lo, hi int) { return i * n / k, (i + 1) * n / k }
+
+func Run(k int, fn func(i int)) { fn(0) }
+
+func Wavefront(workers int, offsets []int, minSpan int, reverse bool, fn func(lo, hi int)) {
+	fn(0, 0)
+}

@@ -1,0 +1,7 @@
+// Package sync is a fixture mirror of the mutex shape.
+package sync
+
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}

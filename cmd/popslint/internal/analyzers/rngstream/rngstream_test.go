@@ -1,0 +1,11 @@
+package rngstream
+
+import (
+	"testing"
+
+	"popslint/internal/analysistest"
+)
+
+func TestRngstream(t *testing.T) {
+	analysistest.Run(t, Analyzer, "a")
+}

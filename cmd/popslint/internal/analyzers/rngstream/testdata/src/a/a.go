@@ -1,0 +1,72 @@
+// Package a exercises rngstream: explicit seeded streams only, no
+// time seeds, no draws inside parallel callbacks.
+package a
+
+import (
+	"math/rand"
+	"repro/internal/par"
+	"time"
+)
+
+// explicitStream is the blessed shape: a seed from the caller, an
+// explicit source, draws on the local stream.
+func explicitStream(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// globalDraws use the process-wide source.
+func globalDraws(n int) int {
+	v := rand.Intn(n)                  // want `global rand.Intn draws from process-wide state`
+	rand.Shuffle(n, func(i, j int) {}) // want `global rand.Shuffle draws from process-wide state`
+	return v
+}
+
+// timeSeeds make runs unrepeatable.
+func timeSeeds() *rand.Rand {
+	rand.Seed(time.Now().UnixNano())                       // want `time-derived seed passed to rand.Seed`
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time-derived seed passed to rand.NewSource`
+}
+
+// preDrawn is the PR-9 parallel contract: the whole stream is drawn
+// serially before the fan-out, workers only read it.
+func preDrawn(seed int64, n, k int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	packed := make([]float64, n)
+	for i := range packed {
+		packed[i] = rng.Float64()
+	}
+	out := make([]float64, n)
+	par.Run(k, func(i int) {
+		lo, hi := par.Chunk(i, k, n)
+		for j := lo; j < hi; j++ {
+			out[j] = packed[j] * 2
+		}
+	})
+	return out
+}
+
+// drawInWorker pulls from a stream inside the callback: the n-th draw
+// lands on a scheduler-chosen worker.
+func drawInWorker(seed int64, n, k int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	par.Run(k, func(i int) {
+		lo, hi := par.Chunk(i, k, n)
+		for j := lo; j < hi; j++ {
+			out[j] = rng.Float64() // want `rand.Float64 called inside a par worker closure`
+		}
+	})
+	return out
+}
+
+// globalDrawInWorker is doubly wrong; the parallel diagnostic wins.
+func globalDrawInWorker(k int) {
+	par.Run(k, func(i int) {
+		_ = rand.Intn(10) // want `rand.Intn called inside a par worker closure`
+	})
+}

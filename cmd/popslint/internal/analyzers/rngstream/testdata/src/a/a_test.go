@@ -1,0 +1,13 @@
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Test files may use throwaway randomness freely: nothing here is
+// flagged.
+func testOnlyHelper() int {
+	rand.Seed(time.Now().UnixNano())
+	return rand.Intn(10)
+}

@@ -1,0 +1,16 @@
+package a
+
+import "math/rand"
+
+// jitterBackoff shows a justified suppression: retry jitter is
+// explicitly not result-affecting.
+func jitterBackoff(base int) int {
+	//popslint:ignore rngstream retry jitter only; never feeds a result or a golden
+	return base + rand.Intn(base)
+}
+
+// missingReason keeps the finding and reports the bare directive.
+func missingReason(base int) int {
+	//popslint:ignore rngstream // want `requires a justification`
+	return base + rand.Intn(base) // want `global rand.Intn draws from process-wide state`
+}

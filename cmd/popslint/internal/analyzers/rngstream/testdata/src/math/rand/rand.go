@@ -1,0 +1,16 @@
+// Package rand is a fixture mirror of math/rand's shape.
+package rand
+
+type Source interface{ Int63() int64 }
+
+type Rand struct{ src Source }
+
+func New(src Source) *Rand               { return &Rand{src} }
+func NewSource(seed int64) Source        { return nil }
+func Seed(seed int64)                    {}
+func Intn(n int) int                     { return 0 }
+func Float64() float64                   { return 0 }
+func Shuffle(n int, swap func(i, j int)) {}
+
+func (r *Rand) Intn(n int) int   { return 0 }
+func (r *Rand) Float64() float64 { return 0 }

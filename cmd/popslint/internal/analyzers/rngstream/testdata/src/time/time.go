@@ -1,0 +1,8 @@
+// Package time is a fixture mirror of the clock shape.
+package time
+
+type Time struct{ ns int64 }
+
+func Now() Time { return Time{} }
+
+func (t Time) UnixNano() int64 { return t.ns }

@@ -3,7 +3,7 @@
 // invariants the compiler cannot see but the optimization protocol's
 // correctness rests on.
 //
-// The four analyzers:
+// The eight analyzers:
 //
 //	mutatorepoch  structural netlist mutations must bump the circuit
 //	              epoch (MarkMutated), and only internal/netlist may
@@ -15,15 +15,31 @@
 //	              raw circuit-name strings
 //	nilrecorder   *engine.Metrics methods and recorder implementations
 //	              must begin with a nil-receiver guard
+//	parcapture    closures passed to par.Run/par.Wavefront may write
+//	              only their own locals or index-disjoint slice
+//	              elements derived from the chunk bounds
+//	rngstream     explicit seeded rand streams only: no global
+//	              math/rand, no time-derived seeds, no draw inside a
+//	              parallel callback
+//	maporder      map iteration in result-affecting packages needs an
+//	              intervening sort or a //pops:orderindep annotation
+//	              before its effect reaches a result
+//	locksafe      no blocking operations while holding an engine or
+//	              store mutex; every Lock reaches Unlock on all
+//	              return paths unless deferred
 //
 // Usage:
 //
 //	popslint ./...                      # runs: go vet -vettool=popslint ./...
 //	go vet -vettool=$(which popslint) ./...
+//	popslint -ignores .                 # list every suppression with its justification
+//	popslint -ignores -budget cmd/popslint/ignores_budget.txt .
+//	                                    # fail if suppressions drift from the budget
 //
 // Findings are suppressed per-site with a justified
 // //popslint:ignore <analyzer> <reason> comment; see the Static
-// analysis section of docs/ARCHITECTURE.md.
+// analysis section of docs/ARCHITECTURE.md. The -ignores modes keep
+// that surface auditable.
 //
 // The module is dependency-free: internal/analysis mirrors the
 // golang.org/x/tools/go/analysis API shape and internal/unit speaks
@@ -43,10 +59,14 @@ import (
 	"strings"
 
 	"popslint/internal/analysis"
+	"popslint/internal/analyzers/locksafe"
+	"popslint/internal/analyzers/maporder"
 	"popslint/internal/analyzers/memokey"
 	"popslint/internal/analyzers/mutatorepoch"
 	"popslint/internal/analyzers/nilrecorder"
 	"popslint/internal/analyzers/noalloc"
+	"popslint/internal/analyzers/parcapture"
+	"popslint/internal/analyzers/rngstream"
 	"popslint/internal/unit"
 )
 
@@ -57,6 +77,10 @@ func all() []*analysis.Analyzer {
 		noalloc.Analyzer,
 		memokey.Analyzer,
 		nilrecorder.Analyzer,
+		parcapture.Analyzer,
+		rngstream.Analyzer,
+		maporder.Analyzer,
+		locksafe.Analyzer,
 	}
 }
 
@@ -69,6 +93,8 @@ func run(args []string) int {
 	fs.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
 	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
 	jsonOut := fs.Bool("json", false, "emit JSON output")
+	ignores := fs.Bool("ignores", false, "list every //popslint:ignore directive with file/line/analyzer/justification")
+	budget := fs.String("budget", "", "with -ignores: diff suppressions against this budget file and fail on drift")
 	fs.Int("c", -1, "display offending line with this many lines of context (accepted for protocol compatibility)")
 	enabled := map[string]*bool{}
 	for _, a := range all() {
@@ -79,6 +105,9 @@ func run(args []string) int {
 	}
 	if *printFlags {
 		return printFlagDefs(fs, os.Stdout)
+	}
+	if *ignores {
+		return runIgnores(fs.Args(), *budget, os.Stdout)
 	}
 
 	// Selective run: naming any analyzer flag restricts the suite.

@@ -228,6 +228,42 @@ func TestDocsDurabilityCovered(t *testing.T) {
 	}
 }
 
+// TestDocsConcurrencyLintCovered pins the concurrency-and-determinism
+// lint surface: the architecture page must describe the four PR-9
+// contract analyzers, the analyzer-to-invariant table, the orderindep
+// annotation, and the suppression budget; the README must carry the
+// ignores workflow and the enforced staticcheck note.
+func TestDocsConcurrencyLintCovered(t *testing.T) {
+	requirements := map[string][]string{
+		filepath.Join("docs", "ARCHITECTURE.md"): {
+			"The eight analyzers",
+			"parcapture", "rngstream", "maporder", "locksafe",
+			"byte-identity", "//pops:orderindep",
+			"pre-drawn serially", "block after the unlock",
+			"-ignores", "ignores_budget.txt",
+			"TestWavefrontStressForcedDegrees", "TestShardedStressForcedDegrees",
+			"seeded-violation", "staticcheck",
+		},
+		"README.md": {
+			"parcapture", "rngstream", "maporder", "locksafe",
+			"//pops:orderindep", "-ignores", "ignores_budget.txt",
+			"staticcheck",
+		},
+	}
+	for file, wants := range requirements {
+		buf, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(buf)
+		for _, want := range wants {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s no longer documents %q", file, want)
+			}
+		}
+	}
+}
+
 // TestDocsStaticAnalysisCovered pins the static-analysis surface into
 // the documentation: the architecture page must describe the popslint
 // suite (all four analyzers, the annotation and suppression grammar,

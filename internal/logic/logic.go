@@ -101,8 +101,16 @@ func Equivalent(a, b *netlist.Circuit, trials int, seed int64) (*Counterexample,
 		if err != nil {
 			return nil, err
 		}
-		for name, va := range oa {
-			if vb := ob[name]; va != vb {
+		// Report the first disagreeing output in name order, not map
+		// order: which output a counterexample names must not depend on
+		// the runtime's iteration shuffle.
+		names := make([]string, 0, len(oa))
+		for name := range oa {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if va, vb := oa[name], ob[name]; va != vb {
 				in := make(map[string]bool, len(assign))
 				for k, v := range assign {
 					in[k] = v

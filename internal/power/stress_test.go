@@ -1,0 +1,81 @@
+package power
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/iscas"
+	"repro/internal/netlist"
+)
+
+// TestShardedStressForcedDegrees is the dynamic twin of the rngstream
+// analyzer's pre-draw contract: concurrent goroutines run the sharded
+// Monte-Carlo word loop at forced degrees (the n<-1 grammar) over
+// randomized netlists, under -race in CI, and every shard split must
+// produce exactly the serial toggle and high counts. A draw moved
+// inside the fan-out, or a shard boundary stitched in the wrong
+// order, shows up here as a count mismatch.
+func TestShardedStressForcedDegrees(t *testing.T) {
+	specs := []iscas.Spec{
+		{Name: "pstress0", Inputs: 10, Outputs: 4, Gates: 90, PathLen: 13, Seed: 55},
+		{Name: "pstress1", Inputs: 27, Outputs: 9, Gates: 420, PathLen: 29, Seed: 66},
+		{Name: "pstress2", Inputs: 44, Outputs: 13, Gates: 1000, PathLen: 35, Seed: 77},
+	}
+	degrees := []int{-2, -3, -8, -32}
+	for _, spec := range specs {
+		spec := spec
+		for _, vectors := range []int{100, 777, 2048} {
+			vectors := vectors
+			t.Run(fmt.Sprintf("%s/v=%d", spec.Name, vectors), func(t *testing.T) {
+				opts := Options{Vectors: vectors, Seed: int64(vectors) ^ spec.Seed, InputActivity: 0.35}
+				serial := opts
+				serial.Parallelism = 1
+				o := serial.withDefaults()
+				order, refTog, refHigh, err := func() ([]*netlist.Node, []int, []int, error) {
+					c, err := iscas.Generate(spec)
+					if err != nil {
+						return nil, nil, nil, err
+					}
+					return simulate(c, o)
+				}()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				var wg sync.WaitGroup
+				errs := make(chan error, len(degrees))
+				for _, deg := range degrees {
+					wg.Add(1)
+					go func(deg int) {
+						defer wg.Done()
+						c, err := iscas.Generate(spec) // private instance
+						if err != nil {
+							errs <- err
+							return
+						}
+						po := o
+						po.Parallelism = deg
+						_, tog, high, err := simulate(c, po)
+						if err != nil {
+							errs <- fmt.Errorf("deg=%d: %v", deg, err)
+							return
+						}
+						for _, n := range order {
+							if tog[n.ID] != refTog[n.ID] || high[n.ID] != refHigh[n.ID] {
+								errs <- fmt.Errorf("deg=%d: net %s counts %d/%d != %d/%d",
+									deg, n.Name, tog[n.ID], high[n.ID], refTog[n.ID], refHigh[n.ID])
+								return
+							}
+						}
+					}(deg)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package sta
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/iscas"
+)
+
+// stressSpecs is a spread of randomized generator shapes: narrow and
+// deep, wide and shallow, and mid-sized tangles, each from its own
+// seed. The generator is deterministic per spec, so every goroutine
+// can rebuild its own private instance of the same circuit.
+var stressSpecs = []iscas.Spec{
+	{Name: "stress0", Inputs: 12, Outputs: 5, Gates: 120, PathLen: 17, Seed: 11},
+	{Name: "stress1", Inputs: 31, Outputs: 11, Gates: 640, PathLen: 41, Seed: 22},
+	{Name: "stress2", Inputs: 7, Outputs: 3, Gates: 260, PathLen: 64, Seed: 33},
+	{Name: "stress3", Inputs: 53, Outputs: 19, Gates: 1200, PathLen: 23, Seed: 44},
+}
+
+// TestWavefrontStressForcedDegrees is the dynamic twin of the
+// parcapture analyzer: many goroutines drive the wavefront scheduler
+// at forced degrees (the n<-1 grammar) over randomized netlists,
+// under -race in CI, and every one must reproduce the serial pass
+// byte for byte — timings, slacks, worst-path identity, violation
+// count. If a worker closure ever grows a write the analyzer misses,
+// this is the test that catches it in motion.
+func TestWavefrontStressForcedDegrees(t *testing.T) {
+	m := model()
+	degrees := []int{-2, -3, -5, -16}
+	for _, spec := range stressSpecs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			ref, err := func() (*Result, error) {
+				c, err := iscas.Generate(spec)
+				if err != nil {
+					return nil, err
+				}
+				return Analyze(c, m, Config{Parallelism: 1})
+			}()
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRep, err := ref.Slacks(ref.WorstDelay * 0.95)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, len(degrees)*2)
+			for _, deg := range degrees {
+				// Two goroutines per degree: concurrent sessions at the
+				// same degree race each other as well as the other degrees.
+				for rep := 0; rep < 2; rep++ {
+					wg.Add(1)
+					go func(deg int) {
+						defer wg.Done()
+						c, err := iscas.Generate(spec) // private instance
+						if err != nil {
+							errs <- err
+							return
+						}
+						got, err := Analyze(c, m, Config{Parallelism: deg})
+						if err != nil {
+							errs <- fmt.Errorf("deg=%d: %v", deg, err)
+							return
+						}
+						// Each goroutine has a private circuit instance, so
+						// the worst output is compared by name, not pointer.
+						if !bitsEq(got.WorstDelay, ref.WorstDelay) ||
+							got.WorstOutput.Name != ref.WorstOutput.Name || got.WorstRising != ref.WorstRising {
+							errs <- fmt.Errorf("deg=%d: worst path %v/%v/%v != %v/%v/%v", deg,
+								got.WorstDelay, got.WorstOutput, got.WorstRising,
+								ref.WorstDelay, ref.WorstOutput, ref.WorstRising)
+							return
+						}
+						for _, n := range c.Nodes {
+							gt, rt := got.Timing(n), ref.Timing(n)
+							if !bitsEq(gt.TRise, rt.TRise) || !bitsEq(gt.TFall, rt.TFall) ||
+								!bitsEq(gt.TauRise, rt.TauRise) || !bitsEq(gt.TauFall, rt.TauFall) {
+								errs <- fmt.Errorf("deg=%d: node %s timing %+v != %+v", deg, n.Name, gt, rt)
+								return
+							}
+						}
+						rep, err := got.Slacks(ref.WorstDelay * 0.95)
+						if err != nil {
+							errs <- fmt.Errorf("deg=%d slacks: %v", deg, err)
+							return
+						}
+						if !bitsEq(rep.WorstSlack, refRep.WorstSlack) || rep.Violations != refRep.Violations {
+							errs <- fmt.Errorf("deg=%d: slacks %v/%d != %v/%d", deg,
+								rep.WorstSlack, rep.Violations, refRep.WorstSlack, refRep.Violations)
+						}
+					}(deg)
+				}
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
